@@ -1,0 +1,66 @@
+// Command pimflow-experiments regenerates the tables and figures of the
+// paper's evaluation section on the simulated hardware.
+//
+//	pimflow-experiments              run everything
+//	pimflow-experiments fig9 table2  run selected experiments
+//	pimflow-experiments -list        list experiment ids
+//	pimflow-experiments -out FILE    also write the report to FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pimflow"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		out  = flag.String("out", "", "also write the report to this file")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range pimflow.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	var runners []pimflow.Experiment
+	if flag.NArg() == 0 {
+		runners = pimflow.Experiments()
+	} else {
+		for _, id := range flag.Args() {
+			e, err := pimflow.ExperimentByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pimflow-experiments:", err)
+				os.Exit(1)
+			}
+			runners = append(runners, e)
+		}
+	}
+	var report strings.Builder
+	for _, e := range runners {
+		start := time.Now()
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimflow-experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		text := res.Table()
+		fmt.Print(text)
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		report.WriteString(text)
+		report.WriteByte('\n')
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+}

@@ -1,0 +1,48 @@
+// Channel sweep: explore the GPU/PIM memory channel division of the
+// 32-channel GDDR6 memory (the paper's Fig 13 design-space study). The
+// sweet spot balances PIM acceleration against GPU bandwidth loss.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimflow"
+)
+
+func main() {
+	models := []string{"efficientnet-v1-b0", "resnet-50"}
+	pimChannels := []int{4, 8, 12, 16, 20, 24}
+
+	for _, name := range models {
+		model, err := pimflow.BuildModel(name, pimflow.ModelOptions{Light: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseRep, err := pimflow.Execute(model, pimflow.PolicyBaseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (baseline %.3f ms)\n", name, baseRep.Seconds*1e3)
+		fmt.Printf("  %-14s %-14s %s\n", "PIM channels", "GPU channels", "speedup")
+		bestCh, bestSpeed := 0, 0.0
+		for _, pc := range pimChannels {
+			cfg := pimflow.DefaultConfig(pimflow.PolicyPIMFlow)
+			cfg.PIMChannels = pc
+			compiled, err := pimflow.Compile(model, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := compiled.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			speed := float64(baseRep.TotalCycles) / float64(rep.TotalCycles)
+			fmt.Printf("  %-14d %-14d %.3fx\n", pc, 32-pc, speed)
+			if speed > bestSpeed {
+				bestSpeed, bestCh = speed, pc
+			}
+		}
+		fmt.Printf("  best division: %d PIM / %d GPU channels (%.2fx)\n\n", bestCh, 32-bestCh, bestSpeed)
+	}
+}

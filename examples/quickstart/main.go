@@ -1,0 +1,64 @@
+// Quickstart: compile MobileNetV2 with the full PIMFlow pipeline and
+// compare it against the GPU-only baseline and the intermediate
+// offloading mechanisms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimflow"
+)
+
+func main() {
+	model, err := pimflow.BuildModel("mobilenet-v2", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %s: %d nodes\n\n", model.Name, len(model.Nodes))
+
+	var baseline int64
+	fmt.Printf("%-12s %12s %10s %12s\n", "policy", "time (ms)", "speedup", "energy (mJ)")
+	for _, policy := range pimflow.Policies() {
+		compiled, err := pimflow.Compile(model, pimflow.DefaultConfig(policy))
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := compiled.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := pimflow.Energy(report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if policy == pimflow.PolicyBaseline {
+			baseline = report.TotalCycles
+		}
+		fmt.Printf("%-12s %12.3f %9.2fx %12.2f\n",
+			policy, report.Seconds*1e3,
+			float64(baseline)/float64(report.TotalCycles), e.Total()*1e3)
+	}
+
+	// Inspect the PIMFlow plan: how were layers placed?
+	compiled, err := pimflow.Compile(model, pimflow.DefaultConfig(pimflow.PolicyPIMFlow))
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, split, gpu := 0, 0, 0
+	for _, d := range compiled.Plan.Decisions {
+		if !d.PIMCandidate {
+			continue
+		}
+		switch {
+		case d.GPURatio <= 0:
+			full++
+		case d.GPURatio >= 1:
+			gpu++
+		default:
+			split++
+		}
+	}
+	fmt.Printf("\nPIMFlow plan: %d layers fully offloaded to PIM, %d split across GPU+PIM, %d on GPU\n",
+		full, split, gpu)
+}

@@ -1,0 +1,3 @@
+module pimflow
+
+go 1.22

@@ -1,0 +1,70 @@
+package codegen
+
+import (
+	"testing"
+
+	"pimflow/internal/models"
+)
+
+func TestAnalyzeLayersToy(t *testing.T) {
+	g, err := models.Build("toy", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, err := AnalyzeLayers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 convs + 1 depthwise + 1 FC.
+	if len(layers) != 5 {
+		t.Fatalf("%d layers, want 5", len(layers))
+	}
+	var dw, cand int
+	for _, l := range layers {
+		if l.M <= 0 || l.K <= 0 || l.N <= 0 || l.FLOPs <= 0 || l.ArithIntensity <= 0 {
+			t.Errorf("layer %s has empty analysis: %+v", l.Name, l)
+		}
+		if l.Depthwise {
+			dw++
+			if l.PIMCandidate {
+				t.Errorf("depthwise layer %s marked PIM candidate", l.Name)
+			}
+		}
+		if l.PIMCandidate {
+			cand++
+		}
+	}
+	if dw != 1 || cand != 4 {
+		t.Fatalf("dw=%d candidates=%d, want 1 and 4", dw, cand)
+	}
+}
+
+// The Fig 1 motivation in miniature: the depthwise conv has far lower
+// arithmetic intensity than the dense convolutions around it.
+func TestAnalyzeIntensityOrdering(t *testing.T) {
+	g, err := models.Build("mobilenet-v2", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, err := AnalyzeLayers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dwSum, pwSum float64
+	var dwN, pwN int
+	for _, l := range layers {
+		if l.Depthwise {
+			dwSum += l.ArithIntensity
+			dwN++
+		} else if l.Op == "Conv" && l.Segments == 1 {
+			pwSum += l.ArithIntensity
+			pwN++
+		}
+	}
+	if dwN == 0 || pwN == 0 {
+		t.Fatal("missing layer classes")
+	}
+	if dwSum/float64(dwN) >= pwSum/float64(pwN) {
+		t.Fatalf("depthwise AI %.1f not below pointwise AI %.1f", dwSum/float64(dwN), pwSum/float64(pwN))
+	}
+}

@@ -1,0 +1,285 @@
+// Package codegen generates DRAM-PIM command traces for PIM-offloaded
+// layers (paper §4.3.1). A lowered convolution or FC layer is an
+// [M x K] x [K x N] matrix multiplication executed as M iterated
+// matrix-vector products: the K-element input vector is GWRITten into a
+// channel's global buffer, weight rows are activated with G_ACT, COMP
+// streams column I/Os through the per-bank MAC trees (one output lane per
+// bank), and READRES drains the accumulated results.
+//
+// The command scheduling pass distributes commands across PIM channels at
+// G_ACT, READRES, or COMP granularity (Fig 6), progressively increasing
+// channel-level parallelism for small matrices. The command optimizations
+// of §4.1 — multiple global buffers (GWRITE_2/GWRITE_4 with G_ACT reuse)
+// and strided GWRITE — are applied according to the PIM configuration.
+package codegen
+
+import (
+	"fmt"
+
+	"pimflow/internal/pim"
+)
+
+// Granularity selects how the scheduling pass distributes PIM commands
+// across channels (Fig 6).
+type Granularity int
+
+const (
+	// GranGAct parallelizes across output groups only: each channel owns a
+	// disjoint set of 16-output groups (weight partitions along N) and
+	// processes every input vector for them.
+	GranGAct Granularity = iota
+	// GranReadRes additionally parallelizes across input vectors: units of
+	// (vector group, output group) are distributed round-robin.
+	GranReadRes
+	// GranComp additionally splits the K dimension across channels at
+	// row-activation granularity, merging partial sums with extra READRES
+	// commands. Best channel balance for small matrices.
+	GranComp
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case GranGAct:
+		return "G_ACT"
+	case GranReadRes:
+		return "READRES"
+	case GranComp:
+		return "COMP"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
+// Workload describes one PIM-offloaded GEMM: M input vectors of length K
+// against a [K x N] weight matrix. Segments is the number of contiguous
+// memory segments each input vector gathers from (1 for FC and pointwise
+// conv; KH for a KHxKW conv patch in NHWC layout).
+type Workload struct {
+	M, K, N  int
+	Segments int
+}
+
+// Validate checks the workload.
+func (w Workload) Validate() error {
+	if w.M < 1 || w.K < 1 || w.N < 1 {
+		return fmt.Errorf("codegen: non-positive workload %+v", w)
+	}
+	if w.Segments < 1 {
+		return fmt.Errorf("codegen: Segments %d < 1", w.Segments)
+	}
+	return nil
+}
+
+// Opts controls trace generation.
+type Opts struct {
+	// Granularity is the command scheduling granularity (Fig 6).
+	Granularity Granularity
+	// StridedGWrite enables the strided GWRITE extension (§4.1): a
+	// multi-segment input vector transfers with one command instead of one
+	// per segment, avoiding per-segment burst padding.
+	StridedGWrite bool
+}
+
+// DefaultOpts returns the full PIMFlow feature set.
+func DefaultOpts() Opts {
+	return Opts{Granularity: GranComp, StridedGWrite: true}
+}
+
+// unit is one schedulable chunk of work: a (vector group, output group,
+// K-chunk) triple. K-chunks are only split at GranComp.
+type unit struct {
+	vecGroup int // index of the nb-vector group
+	nVecs    int // vectors in this group (<= nb)
+	ogIndex  int // output-group index
+	outLanes int // outputs in this group (<= banks)
+	kStart   int // start of the K range
+	kLen     int // length of the K range
+}
+
+// Generate builds the per-channel command trace for the workload.
+func Generate(w Workload, cfg pim.Config, opts Opts) (*pim.Trace, error) {
+	units, err := scheduleUnits(w, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &pim.Trace{}
+	for ch := 0; ch < cfg.Channels; ch++ {
+		if len(units[ch]) == 0 {
+			continue
+		}
+		ct := pim.ChannelTrace{Channel: ch}
+		lastVecGroup, lastKStart := -1, -1
+		for _, u := range units[ch] {
+			// GWRITE the vector group's K-chunk unless this channel just
+			// loaded the same chunk (consecutive output groups reuse it).
+			if u.vecGroup != lastVecGroup || u.kStart != lastKStart {
+				emitGWrite(&ct, w, cfg, opts, u)
+				lastVecGroup, lastKStart = u.vecGroup, u.kStart
+			}
+			// Activate rows and stream COMPs over this K-chunk.
+			colIOs := ceilDiv(u.kLen, cfg.ColumnIOBytes/2)
+			for done := 0; done < colIOs; {
+				cols := cfg.ColumnIOsPerRow
+				if done+cols > colIOs {
+					cols = colIOs - done
+				}
+				ct.Commands = append(ct.Commands, pim.Command{Kind: pim.KindGAct, NewRow: true})
+				for v := 0; v < u.nVecs; v++ {
+					ct.Commands = append(ct.Commands, pim.Command{Kind: pim.KindComp, Cols: cols})
+				}
+				done += cols
+			}
+			// Drain results: one READRES per vector. Partial K-chunks
+			// (GranComp splits) also drain so the GPU can merge partial
+			// sums — the merge cost is the extra READRES traffic.
+			resBursts := ceilDiv(u.outLanes*4, cfg.BurstBytes)
+			if resBursts < 1 {
+				resBursts = 1
+			}
+			for v := 0; v < u.nVecs; v++ {
+				ct.Commands = append(ct.Commands, pim.Command{Kind: pim.KindReadRes, Bursts: resBursts})
+			}
+		}
+		tr.Channels = append(tr.Channels, ct)
+	}
+	return tr, nil
+}
+
+// scheduleUnits decomposes the workload into schedulable units and
+// assigns them to channels per the scheduling granularity. Both trace
+// generation and the functional executor consume the same plan, so the
+// timing model and the numerics are guaranteed to agree on coverage.
+func scheduleUnits(w Workload, cfg pim.Config, opts Opts) ([][]unit, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nb := cfg.GlobalBufs
+	lanes := cfg.LanesPerChannel()
+	elemsPerColIO := cfg.ColumnIOBytes / 2
+	kPerAct := cfg.ColumnIOsPerRow * elemsPerColIO
+	bufCap := cfg.BufElems()
+
+	// Decompose K into chunks: always at most the buffer capacity. At
+	// GranComp granularity, when there are too few (vector group, output
+	// group) units to occupy every channel, split K at row-activation
+	// boundaries too so the work can spread (partial sums merge via extra
+	// READRES traffic).
+	kChunkLen := bufCap
+	if opts.Granularity == GranComp && w.K > kPerAct &&
+		ceilDiv(w.M, nb)*ceilDiv(w.N, lanes) < cfg.Channels {
+		kChunkLen = kPerAct
+	}
+	if kChunkLen > w.K {
+		kChunkLen = w.K
+	}
+
+	var units []unit
+	nVecGroups := ceilDiv(w.M, nb)
+	nOutGroups := ceilDiv(w.N, lanes)
+	// Unit order is vector group -> K-chunk -> output group, so that all
+	// output groups sharing one buffered K-chunk are consecutive and the
+	// channel reuses a single GWRITE across them.
+	for vg := 0; vg < nVecGroups; vg++ {
+		nv := nb
+		if (vg+1)*nb > w.M {
+			nv = w.M - vg*nb
+		}
+		for ks := 0; ks < w.K; ks += kChunkLen {
+			kl := kChunkLen
+			if ks+kl > w.K {
+				kl = w.K - ks
+			}
+			for og := 0; og < nOutGroups; og++ {
+				ol := lanes
+				if (og+1)*lanes > w.N {
+					ol = w.N - og*lanes
+				}
+				units = append(units, unit{
+					vecGroup: vg, nVecs: nv, ogIndex: og, outLanes: ol,
+					kStart: ks, kLen: kl,
+				})
+			}
+		}
+	}
+
+	// Assign units to channels per the scheduling granularity.
+	nCh := cfg.Channels
+	assign := make([][]unit, nCh)
+	switch opts.Granularity {
+	case GranGAct:
+		// Partition along output groups only; every channel owning an
+		// output group processes all vector groups for it.
+		for _, u := range units {
+			assign[u.ogIndex%nCh] = append(assign[u.ogIndex%nCh], u)
+		}
+	case GranReadRes, GranComp:
+		// Contiguous equal chunking: the unit list is ordered
+		// (vector group, K-chunk, output group), so slicing it into equal
+		// contiguous runs balances channel loads while keeping the units
+		// that share one GWRITEd buffer chunk on the same channel (at most
+		// one run boundary splits a chunk's output groups).
+		per := ceilDiv(len(units), nCh)
+		for i, u := range units {
+			assign[i/per] = append(assign[i/per], u)
+		}
+	default:
+		return nil, fmt.Errorf("codegen: unknown granularity %d", opts.Granularity)
+	}
+	return assign, nil
+}
+
+// emitGWrite appends the GWRITE command(s) that load one vector group's
+// K-chunk into the channel's global buffers.
+func emitGWrite(ct *pim.ChannelTrace, w Workload, cfg pim.Config, opts Opts, u unit) {
+	kind := pim.KindGWrite
+	switch cfg.GlobalBufs {
+	case 2:
+		kind = pim.KindGWrite2
+	case 4:
+		kind = pim.KindGWrite4
+	}
+	segments := w.Segments
+	if opts.StridedGWrite || segments < 1 {
+		segments = 1
+		if w.Segments > 1 {
+			kind = pim.KindGWriteStrided
+		}
+	}
+	if segments == 1 {
+		bursts := u.nVecs * ceilDiv(u.kLen*2, cfg.BurstBytes)
+		ct.Commands = append(ct.Commands, pim.Command{Kind: kind, Bursts: bursts})
+		return
+	}
+	// Without strided GWRITE each contiguous segment needs its own
+	// command, and each segment's transfer rounds up to whole bursts.
+	segLen := ceilDiv(u.kLen, segments)
+	remaining := u.kLen
+	for s := 0; s < segments && remaining > 0; s++ {
+		l := segLen
+		if l > remaining {
+			l = remaining
+		}
+		bursts := u.nVecs * ceilDiv(l*2, cfg.BurstBytes)
+		ct.Commands = append(ct.Commands, pim.Command{Kind: kind, Bursts: bursts})
+		remaining -= l
+	}
+}
+
+// TimeWorkload generates the trace for the workload and simulates it,
+// returning the PIM timing statistics. This is the back-end's layer-time
+// primitive used by the execution-mode search.
+func TimeWorkload(w Workload, cfg pim.Config, opts Opts) (pim.Stats, error) {
+	tr, err := Generate(w, cfg, opts)
+	if err != nil {
+		return pim.Stats{}, err
+	}
+	return pim.Simulate(cfg, tr)
+}
+
+func ceilDiv(a, b int) int {
+	return (a + b - 1) / b
+}

@@ -1,0 +1,57 @@
+package codegen
+
+import (
+	"fmt"
+
+	"pimflow/internal/graph"
+	"pimflow/internal/lower"
+	"pimflow/internal/pim"
+)
+
+// NodeWorkload derives the PIM GEMM workload of a PIM-candidate node
+// (Conv except depthwise, or Gemm). For convolutions, Segments is the
+// kernel height: each im2col patch gathers KH contiguous NHWC row
+// segments, which the strided-GWRITE extension transfers in one command.
+func NodeWorkload(g *graph.Graph, n *graph.Node) (Workload, error) {
+	switch n.Op {
+	case graph.OpConv:
+		if g.IsDepthwise(n) {
+			return Workload{}, fmt.Errorf("codegen: depthwise conv %q is not PIM-offloadable", n.Name)
+		}
+		p, err := graph.ConvParamsOf(n)
+		if err != nil {
+			return Workload{}, err
+		}
+		if p.Group != 1 {
+			return Workload{}, fmt.Errorf("codegen: grouped conv %q unsupported on PIM", n.Name)
+		}
+		in := g.Tensors[n.Inputs[0]]
+		w := g.Tensors[n.Inputs[1]]
+		if in == nil || !in.Shape.Valid() || w == nil || !w.Shape.Valid() {
+			return Workload{}, fmt.Errorf("codegen: conv %q shapes unknown", n.Name)
+		}
+		l, err := lower.LowerConv(in.Shape, p, w.Shape[3])
+		if err != nil {
+			return Workload{}, err
+		}
+		return Workload{M: l.Dims.M, K: l.Dims.K, N: l.Dims.N, Segments: p.KernelH}, nil
+	case graph.OpGemm:
+		in := g.Tensors[n.Inputs[0]]
+		w := g.Tensors[n.Inputs[1]]
+		if in == nil || !in.Shape.Valid() || w == nil || !w.Shape.Valid() {
+			return Workload{}, fmt.Errorf("codegen: gemm %q shapes unknown", n.Name)
+		}
+		return Workload{M: in.Shape[0], K: in.Shape[1], N: w.Shape[1], Segments: 1}, nil
+	default:
+		return Workload{}, fmt.Errorf("codegen: op %s is not PIM-offloadable", n.Op)
+	}
+}
+
+// TimeNode generates and simulates the PIM trace for a whole node.
+func TimeNode(g *graph.Graph, n *graph.Node, cfg pim.Config, opts Opts) (pim.Stats, error) {
+	w, err := NodeWorkload(g, n)
+	if err != nil {
+		return pim.Stats{}, err
+	}
+	return TimeWorkload(w, cfg, opts)
+}

@@ -1,0 +1,171 @@
+package energy
+
+import (
+	"testing"
+
+	"pimflow/internal/graph"
+	"pimflow/internal/models"
+	"pimflow/internal/runtime"
+	"pimflow/internal/search"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.GPUStaticWatts = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative watts accepted")
+	}
+}
+
+func TestOfReportNil(t *testing.T) {
+	if _, err := OfReport(nil, DefaultParams()); err == nil {
+		t.Fatal("nil report accepted")
+	}
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	g, err := models.Build("toy", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runtime.Execute(g, runtime.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OfReport(rep, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GPUStatic <= 0 || b.GPUDynamic <= 0 {
+		t.Fatalf("GPU-only run missing energy: %+v", b)
+	}
+	if b.PIMDynamic != 0 {
+		t.Fatalf("GPU-only run has PIM energy: %+v", b)
+	}
+	if b.Total() != b.GPUStatic+b.GPUDynamic {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestPIMOffloadHasPIMEnergy(t *testing.T) {
+	b := graph.NewBuilder("pw", 1, 14, 14, 576)
+	b.Light = true
+	g, err := b.PointwiseConv(160).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Nodes[0].Exec = graph.ExecHint{Device: graph.DevicePIM}
+	rep, err := runtime.Execute(g, runtime.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := OfReport(rep, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.PIMDynamic <= 0 {
+		t.Fatalf("offloaded conv has no PIM energy: %+v", bd)
+	}
+	if bd.GPUDynamic != 0 {
+		t.Fatalf("offloaded conv has GPU dynamic energy: %+v", bd)
+	}
+}
+
+// PIM computation must be cheaper per operation than GPU: the same conv
+// offloaded must use less dynamic energy than on GPU.
+func TestPIMDynamicCheaperThanGPU(t *testing.T) {
+	mk := func(dev graph.Device) Breakdown {
+		b := graph.NewBuilder("pw", 1, 14, 14, 576)
+		b.Light = true
+		g, err := b.PointwiseConv(320).Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Nodes[0].Exec = graph.ExecHint{Device: dev}
+		rep, err := runtime.Execute(g, runtime.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, err := OfReport(rep, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bd
+	}
+	gpuB := mk(graph.DeviceGPU)
+	pimB := mk(graph.DevicePIM)
+	if pimB.PIMDynamic >= gpuB.GPUDynamic {
+		t.Fatalf("PIM dynamic %.3g J not below GPU dynamic %.3g J", pimB.PIMDynamic, gpuB.GPUDynamic)
+	}
+}
+
+// The Fig 12 headline: PIMFlow inference uses less energy than the GPU
+// baseline on a mobile CNN.
+func TestPIMFlowSavesEnergyMobileNet(t *testing.T) {
+	g, err := models.Build("mobilenet-v2", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseOpts := search.DefaultOptions(search.PolicyBaseline)
+	baseRep, err := runtime.Execute(g, baseOpts.RuntimeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseE, err := OfReport(baseRep, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := search.DefaultOptions(search.PolicyPIMFlow)
+	xg, _, err := search.Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runtime.Execute(xg, opts.RuntimeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := OfReport(rep, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Total() >= baseE.Total() {
+		t.Fatalf("PIMFlow energy %.3g J not below baseline %.3g J", e.Total(), baseE.Total())
+	}
+	saving := 1 - e.Total()/baseE.Total()
+	if saving < 0.05 || saving > 0.6 {
+		t.Fatalf("energy saving %.0f%% outside plausible band (paper: ~26%% avg)", saving*100)
+	}
+}
+
+// Energy must scale monotonically with its inputs: doubling static power
+// raises total energy; a longer schedule costs more static energy.
+func TestEnergyMonotonicity(t *testing.T) {
+	g, err := models.Build("toy", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runtime.Execute(g, runtime.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := DefaultParams()
+	p2 := DefaultParams()
+	p2.GPUStaticWatts *= 2
+	e1, err := OfReport(rep, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := OfReport(rep, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.GPUStatic <= e1.GPUStatic || e2.Total() <= e1.Total() {
+		t.Fatalf("static power scaling not monotone: %+v vs %+v", e1, e2)
+	}
+	if e2.GPUDynamic != e1.GPUDynamic {
+		t.Fatal("dynamic energy changed with static power")
+	}
+}

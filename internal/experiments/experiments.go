@@ -1,0 +1,229 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§5-§6). Each harness regenerates the corresponding
+// rows/series on the simulated hardware; EXPERIMENTS.md records the
+// paper-reported values next to the measured ones. Harnesses are pure
+// functions of the simulator configuration, so their output is
+// deterministic.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pimflow/internal/energy"
+	"pimflow/internal/graph"
+	"pimflow/internal/models"
+	"pimflow/internal/runtime"
+	"pimflow/internal/search"
+)
+
+// Series is one named sequence of (label, value) points.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID          string
+	Title       string
+	Description string
+	Series      []Series
+	Notes       []string
+}
+
+// Table renders the result as an aligned text table (labels as columns).
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Description != "" {
+		fmt.Fprintf(&b, "%s\n", r.Description)
+	}
+	if len(r.Series) > 0 {
+		width := 14
+		for _, s := range r.Series {
+			if len(s.Name) > width {
+				width = len(s.Name)
+			}
+		}
+		// Header from the first series' labels.
+		fmt.Fprintf(&b, "%-*s", width+2, "")
+		for _, l := range r.Series[0].Labels {
+			fmt.Fprintf(&b, "%12s", l)
+		}
+		b.WriteByte('\n')
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, "%-*s", width+2, s.Name)
+			for _, v := range s.Values {
+				fmt.Fprintf(&b, "%12.3f", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is a registered experiment.
+type Runner struct {
+	ID   string
+	Desc string
+	Run  func() (*Result, error)
+}
+
+// extra holds the §3/§7 analyses registered by extras.go.
+var extra []Runner
+
+// All returns every experiment harness in paper order, followed by the
+// §3 preliminary-analysis and §7 discussion reproductions.
+func All() []Runner {
+	base := []Runner{
+		{"fig1", "Runtime breakdown by layer type and conv arithmetic intensity", Fig1},
+		{"fig3", "GPU-only inference time vs memory channel count", Fig3},
+		{"fig8", "Simulator validation: PIM vs GPU GEMV speedup vs batch size", Fig8},
+		{"fig9", "CONV-layer and end-to-end speedup per offloading mechanism", Fig9},
+		{"fig10", "Layerwise MD-DP performance breakdown", Fig10},
+		{"fig11", "Pipelined subgraph patterns: MD-DP vs pipelined", Fig11},
+		{"fig12", "Energy consumption per offloading mechanism", Fig12},
+		{"fig13", "GPU/PIM memory channel ratio sensitivity", Fig13},
+		{"fig14", "PIM command optimization ablation", Fig14},
+		{"fig15", "Pipeline stage count sensitivity", Fig15},
+		{"fig16", "Model type and size sensitivity (BERT, scaled EfficientNets)", Fig16},
+		{"table1", "DRAM-PIM configuration", Table1},
+		{"table2", "Distribution of MD-DP splitting ratios", Table2},
+	}
+	return append(base, extra...)
+}
+
+// ByID returns the runner with the given id.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// buildModel constructs a light (shape-only) model graph.
+func buildModel(name string) (*graph.Graph, error) {
+	return models.Build(name, models.Options{Light: true})
+}
+
+// executePolicy compiles the model under the policy and executes it,
+// returning the report and the plan.
+func executePolicy(g *graph.Graph, p search.Policy) (*runtime.Report, *search.Plan, error) {
+	opts := search.DefaultOptions(p)
+	xg, plan, err := search.Compile(g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := runtime.Execute(xg, opts.RuntimeConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, plan, nil
+}
+
+// origLayerName strips the suffixes the transformation passes append to
+// node names (_gpu, _pim, _pN, _slice..., _concat, _prefixN).
+func origLayerName(name string) string {
+	cut := len(name)
+	for _, sep := range []string{"_slice", "_concat", "_prefix", "_gpu", "_pim", "_p"} {
+		i := strings.Index(name, sep)
+		if i <= 0 || i >= cut {
+			continue
+		}
+		// "_p" must only strip numeric pipeline suffixes.
+		if sep == "_p" {
+			rest := name[i+2:]
+			if rest == "" || rest[0] < '0' || rest[0] > '9' {
+				continue
+			}
+		}
+		cut = i
+	}
+	return name[:cut]
+}
+
+// convLayerCycles sums, over the original convolution layers, the wall
+// time span of each layer's (possibly split or pipelined) parts. This is
+// the "execution time of all PIM-candidate CONV layers" metric of Fig 9.
+func convLayerCycles(rep *runtime.Report) int64 {
+	type span struct{ start, end int64 }
+	spans := map[string]*span{}
+	for _, n := range rep.Nodes {
+		if n.Op != graph.OpConv || n.Elided {
+			continue
+		}
+		key := origLayerName(n.Name)
+		s, ok := spans[key]
+		if !ok {
+			spans[key] = &span{n.Start, n.End}
+			continue
+		}
+		if n.Start < s.start {
+			s.start = n.Start
+		}
+		if n.End > s.end {
+			s.end = n.End
+		}
+	}
+	// Merge overlapping layer spans so overlapped (pipelined) layers are
+	// not double counted.
+	all := make([]span, 0, len(spans))
+	for _, s := range spans {
+		all = append(all, *s)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].start < all[j].start })
+	var total int64
+	var curStart, curEnd int64 = -1, -1
+	for _, s := range all {
+		if curEnd < 0 {
+			curStart, curEnd = s.start, s.end
+			continue
+		}
+		if s.start <= curEnd {
+			if s.end > curEnd {
+				curEnd = s.end
+			}
+			continue
+		}
+		total += curEnd - curStart
+		curStart, curEnd = s.start, s.end
+	}
+	if curEnd >= 0 {
+		total += curEnd - curStart
+	}
+	return total
+}
+
+// energyOf computes total inference energy for a report.
+func energyOf(rep *runtime.Report) (float64, error) {
+	b, err := energy.OfReport(rep, energy.DefaultParams())
+	if err != nil {
+		return 0, err
+	}
+	return b.Total(), nil
+}
+
+func shortName(model string) string {
+	switch model {
+	case "efficientnet-v1-b0":
+		return "ENetB0"
+	case "mobilenet-v2":
+		return "MBNetV2"
+	case "mnasnet-1.0":
+		return "MnasNet"
+	case "resnet-50":
+		return "ResNet50"
+	case "vgg-16":
+		return "VGG16"
+	default:
+		return model
+	}
+}

@@ -1,0 +1,401 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func series(t *testing.T, r *Result, name string) Series {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("%s: series %q not found", r.ID, name)
+	return Series{}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range All() {
+		if ids[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		ids[r.ID] = true
+		if r.Run == nil || r.Desc == "" {
+			t.Errorf("%s: incomplete runner", r.ID)
+		}
+	}
+	for _, want := range []string{"fig1", "fig3", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "table1", "table2",
+		"prelim", "disc-area", "disc-contention"} {
+		if !ids[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// Fig 1 shape: convolution time dominates every evaluated CNN, and
+// pointwise convs have lower arithmetic intensity than kxk convs where
+// both exist.
+func TestFig1Shape(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		conv := s.Values[0]
+		if conv < 0.4 {
+			t.Errorf("%s: conv fraction %.2f not dominant", s.Name, conv)
+		}
+		var sum float64
+		for _, v := range s.Values[:4] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("%s: fractions sum to %v", s.Name, sum)
+		}
+	}
+	rn := series(t, r, "ResNet50")
+	if rn.Values[4] >= rn.Values[5] {
+		t.Errorf("ResNet50 pointwise AI %.1f not below kxk AI %.1f", rn.Values[4], rn.Values[5])
+	}
+}
+
+// Fig 3 shape: inference time decreases monotonically with channel count
+// and ResNet50 (most compute-bound) is least sensitive.
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		for i := 1; i < len(s.Values); i++ {
+			if s.Values[i] > s.Values[i-1]+1e-9 {
+				t.Errorf("%s: time increased with more channels: %v", s.Name, s.Values)
+				break
+			}
+		}
+	}
+	resnet := series(t, r, "ResNet50")
+	for _, s := range r.Series {
+		if s.Name == "ResNet50" {
+			continue
+		}
+		// at 8 channels (index 0), ResNet50 suffers least.
+		if resnet.Values[0] > s.Values[0] {
+			t.Errorf("ResNet50 more channel-sensitive (%.2f) than %s (%.2f)",
+				resnet.Values[0], s.Name, s.Values[0])
+		}
+	}
+}
+
+// Fig 8 shape: order-of-magnitude PIM win at batch 1, decaying with
+// batch size (the validation anchor: paper 20.4x, Newton 50x, AiM ~10x).
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.Series[0].Values
+	if v[0] < 8 || v[0] > 50 {
+		t.Fatalf("batch-1 speedup %.1f outside the validated band [8,50]", v[0])
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[i-1] {
+			t.Fatalf("speedup not decaying with batch: %v", v)
+		}
+	}
+}
+
+// Fig 9 shape: the headline orderings. PIMFlow never loses to Newton++;
+// Newton++ never loses to Newton+ (conv-layer metric); the mobile CNNs
+// gain more end-to-end than ResNet50; everything improves over baseline
+// under full PIMFlow for conv layers.
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second harness")
+	}
+	r, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: Baseline, Newton+, Newton++, PIMFlow-md, PIMFlow-pl, PIMFlow.
+	for _, s := range r.Series {
+		if !strings.HasSuffix(s.Name, "/conv") {
+			continue
+		}
+		if s.Values[2] < s.Values[1]-0.01 {
+			t.Errorf("%s: Newton++ (%.3f) below Newton+ (%.3f)", s.Name, s.Values[2], s.Values[1])
+		}
+		if s.Values[5] < s.Values[2]-0.01 {
+			t.Errorf("%s: PIMFlow (%.3f) below Newton++ (%.3f)", s.Name, s.Values[5], s.Values[2])
+		}
+		if s.Values[5] < 1.0 {
+			t.Errorf("%s: PIMFlow conv speedup %.3f below baseline", s.Name, s.Values[5])
+		}
+	}
+	mobile := []string{"ENetB0/e2e", "MnasNet/e2e", "MBNetV2/e2e"}
+	resnet := series(t, r, "ResNet50/e2e").Values[5]
+	var worstMobile float64 = math.Inf(1)
+	for _, name := range mobile {
+		v := series(t, r, name).Values[5]
+		if v < worstMobile {
+			worstMobile = v
+		}
+		if v < 1.1 {
+			t.Errorf("%s: PIMFlow e2e speedup %.3f too small", name, v)
+		}
+	}
+	if resnet > worstMobile+0.15 {
+		t.Errorf("ResNet50 e2e speedup %.3f not below the mobile CNNs (worst %.3f)", resnet, worstMobile)
+	}
+}
+
+// Fig 12 shape: PIMFlow uses less energy than baseline everywhere, and
+// the mobile CNNs save more than ResNet50.
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second harness")
+	}
+	r, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		pimflowE := s.Values[len(s.Values)-1]
+		if pimflowE >= 1 {
+			t.Errorf("%s: PIMFlow energy %.3f not below baseline", s.Name, pimflowE)
+		}
+	}
+	resnet := series(t, r, "ResNet50").Values[3]
+	mbnet := series(t, r, "MBNetV2").Values[3]
+	if mbnet > resnet {
+		t.Errorf("MBNetV2 energy %.3f not better than ResNet50 %.3f", mbnet, resnet)
+	}
+}
+
+// Fig 13 shape: the channel-ratio curve rises and then falls; the peak is
+// in the interior (paper: 16/16), never at 24 PIM channels.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second harness")
+	}
+	r, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		if !strings.Contains(s.Name, "PIMFlow") {
+			continue
+		}
+		last := len(s.Values) - 1
+		best, bestIdx := 0.0, 0
+		for i, v := range s.Values {
+			if v > best {
+				best, bestIdx = v, i
+			}
+		}
+		if bestIdx == last {
+			t.Errorf("%s: best at the most PIM channels (%v); expected an interior peak", s.Name, s.Values)
+		}
+		if s.Values[last] >= best {
+			t.Errorf("%s: no falloff after the peak: %v", s.Name, s.Values)
+		}
+	}
+}
+
+// Fig 14 shape: each command optimization helps (weakly), the combination
+// is at least as good as either alone.
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second harness")
+	}
+	r, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := series(t, r, "mean").Values
+	// Columns: Newton+, +hiding, 2 bufs, +4 bufs, both.
+	if mean[1] < 1.0-1e-9 || mean[3] < 1.0-1e-9 {
+		t.Errorf("an optimization hurt on average: %v", mean)
+	}
+	if mean[3] < mean[2]-1e-9 {
+		t.Errorf("4 buffers (%.3f) below 2 buffers (%.3f)", mean[3], mean[2])
+	}
+	last := len(mean) - 1
+	if mean[last] < mean[1]-0.01 || mean[last] < mean[3]-0.01 {
+		t.Errorf("combined (%.3f) below a single optimization: %v", mean[last], mean)
+	}
+	if mean[last] < 1.02 {
+		t.Errorf("combined optimizations gain only %.1f%%", (mean[last]-1)*100)
+	}
+}
+
+// Fig 15 shape: two stages is optimal (paper: more stages lose more to
+// overheads than they gain from overlap).
+func TestFig15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second harness")
+	}
+	r, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.Series[0].Values
+	// Two and three stages are within noise of each other in our model;
+	// beyond that, overheads dominate (paper: >2 stages lose).
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[0]-0.01 {
+			t.Errorf("stage count index %d beats 2 stages by >1%%: %v", i, v)
+		}
+	}
+	if v[len(v)-1] <= v[0] {
+		t.Errorf("deep pipelines do not degrade: %v", v)
+	}
+}
+
+// Fig 10 shape: the MD-DP breakdown reports split layers with ratios
+// strictly inside (0,1) and meaningful per-layer normalized times.
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second harness")
+	}
+	r, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := r.Series[0]
+	ratios := r.Series[1]
+	if len(times.Values) == 0 {
+		t.Fatal("no split layers reported")
+	}
+	anyFaster := false
+	for i := range times.Values {
+		if ratios.Values[i] <= 0 || ratios.Values[i] >= 1 {
+			t.Errorf("layer %s ratio %v not a split", times.Labels[i], ratios.Values[i])
+		}
+		if times.Values[i] <= 0 {
+			t.Errorf("layer %s nonpositive time", times.Labels[i])
+		}
+		if times.Values[i] < 0.95 {
+			anyFaster = true
+		}
+	}
+	if !anyFaster {
+		t.Error("no split layer ran faster than its baseline")
+	}
+}
+
+// Fig 16 shape: BERT 1x3 gains an order of magnitude (fully offloaded
+// GEMV regime) and the EfficientNet speedup declines as variants scale.
+func TestFig16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten-second harness")
+	}
+	r, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3 := series(t, r, "BERT 1x3")
+	if b3.Values[0] < 1.5 || b3.Values[1] < 1.5 {
+		t.Errorf("BERT 1x3 speedups %v too small for the GEMV regime", b3.Values)
+	}
+	enet := series(t, r, "EfficientNet/PIMFlow")
+	first, last := enet.Values[0], enet.Values[len(enet.Values)-1]
+	if last >= first {
+		t.Errorf("EfficientNet speedup did not decline with scale: %v", enet.Values)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second harness")
+	}
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.Series[0].Values
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	split := 0.0
+	for i := 1; i < 10; i++ {
+		split += v[i]
+	}
+	if split < 0.4 {
+		t.Errorf("only %.0f%% of layers split; paper shape has a majority splitting", split*100)
+	}
+}
+
+func TestTable1HasConfig(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Notes, "\n")
+	for _, want := range []string{"banks/channel: 16", "4 KB", "tRCD=11", "tRAS=25"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestOrigLayerName(t *testing.T) {
+	cases := map[string]string{
+		"conv_5":           "conv_5",
+		"conv_5_gpu":       "conv_5",
+		"conv_5_pim":       "conv_5",
+		"conv_5_slice_gpu": "conv_5",
+		"conv_5_concat":    "conv_5",
+		"conv_5_p0":        "conv_5",
+		"conv_5_p12_slice": "conv_5",
+		"conv_5_prefix1":   "conv_5",
+		"relu_3_out_p2":    "relu_3_out",
+		"conv_pooled":      "conv_pooled", // "_p" followed by letters stays
+	}
+	for in, want := range cases {
+		if got := origLayerName(in); got != want {
+			t.Errorf("origLayerName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrelimShape(t *testing.T) {
+	r, err := Prelim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		if s.Values[0] < 0 || s.Values[0] > 0.5 {
+			t.Errorf("%s: independent-node fraction %.2f implausible", s.Name, s.Values[0])
+		}
+	}
+	// The mobile CNNs must show a meaningful share of close-race layers —
+	// the paper's core motivation for MD-DP.
+	mb := series(t, r, "MBNetV2")
+	if mb.Values[1] < 0.2 {
+		t.Errorf("MBNetV2 close-race fraction %.2f too small", mb.Values[1])
+	}
+}
+
+func TestDiscussionAreaShape(t *testing.T) {
+	r, err := DiscussionArea()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := r.Series[0].Values
+	if math.Abs(v[0]-0.33) > 0.01 || math.Abs(v[1]+v[2]-1.53) > 0.02 {
+		t.Errorf("area values %v do not match the paper's 0.33 / 1.53", v)
+	}
+}

@@ -1,0 +1,319 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pimflow/internal/tensor"
+)
+
+// Node is one operation in a model graph. Inputs and Outputs name tensors
+// in the owning Graph. Nodes carry an attribute bag plus PIMFlow execution
+// annotations written by the search and transformation phases.
+type Node struct {
+	Name    string
+	Op      OpType
+	Inputs  []string
+	Outputs []string
+	Attrs   Attrs
+
+	// Exec is the execution annotation chosen by the search phase; the
+	// zero value means "GPU, heterogeneous-parallel".
+	Exec ExecHint
+}
+
+// Device names an execution resource.
+type Device int
+
+const (
+	// DeviceGPU executes the node on the GPU SMs.
+	DeviceGPU Device = iota
+	// DevicePIM executes the node on the PIM-enabled memory channels.
+	DevicePIM
+)
+
+func (d Device) String() string {
+	if d == DevicePIM {
+		return "PIM"
+	}
+	return "GPU"
+}
+
+// ExecMode is the execution mode chosen for a node (paper §4.2.1).
+type ExecMode int
+
+const (
+	// ModeSerial runs the whole node on Exec.Device (heterogeneous
+	// parallelism; full offload when Device == PIM).
+	ModeSerial ExecMode = iota
+	// ModeMDDP splits the node across GPU and PIM (multi-device
+	// data-parallel) with Exec.GPURatio of rows on GPU.
+	ModeMDDP
+	// ModePipeline marks a node as a stage of a pipelined subgraph.
+	ModePipeline
+)
+
+func (m ExecMode) String() string {
+	switch m {
+	case ModeMDDP:
+		return "md-dp"
+	case ModePipeline:
+		return "pipeline"
+	default:
+		return "serial"
+	}
+}
+
+// ExecHint is the per-node execution annotation.
+type ExecHint struct {
+	Mode   ExecMode
+	Device Device // for ModeSerial
+	// GPURatio is the fraction of output rows computed on GPU in MD-DP
+	// mode, in 10% steps per the paper (0.1 .. 0.9).
+	GPURatio float64
+	// Pipeline identifies the pipelined subgraph and stage for
+	// ModePipeline nodes.
+	Pipeline PipelineHint
+}
+
+// PipelineHint locates a node within a pipelined subgraph.
+type PipelineHint struct {
+	GroupID int // which pipelined subgraph
+	Stage   int // stage index within the subgraph, 0-based
+	Part    int // data chunk index, 0-based
+	Parts   int // total data chunks (pipeline depth)
+}
+
+// Clone deep-copies the node.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		Name:    n.Name,
+		Op:      n.Op,
+		Inputs:  append([]string(nil), n.Inputs...),
+		Outputs: append([]string(nil), n.Outputs...),
+		Attrs:   n.Attrs.Clone(),
+		Exec:    n.Exec,
+	}
+	return c
+}
+
+// TensorInfo describes a named tensor: its shape and, for weights, the
+// initializer data. Activations have a nil Init. Param marks
+// shape-only weights built in "light" mode for timing-only use, where
+// materializing hundreds of megabytes of initializer data would be waste.
+type TensorInfo struct {
+	Name  string
+	Shape tensor.Shape
+	Init  *tensor.Tensor
+	Param bool
+}
+
+// IsWeight reports whether the tensor is a model parameter (with or
+// without materialized initializer data).
+func (ti *TensorInfo) IsWeight() bool { return ti.Param || ti.Init != nil }
+
+// Graph is a model computation graph. Nodes are stored in insertion order;
+// use TopoSort for a dependency-respecting order.
+type Graph struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Nodes   []*Node
+	Tensors map[string]*TensorInfo
+}
+
+// New creates an empty graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, Tensors: map[string]*TensorInfo{}}
+}
+
+// AddInput declares a graph input tensor with the given shape.
+func (g *Graph) AddInput(name string, shape ...int) {
+	g.Inputs = append(g.Inputs, name)
+	g.Tensors[name] = &TensorInfo{Name: name, Shape: tensor.Shape(shape).Clone()}
+}
+
+// MarkOutput declares an existing tensor as a graph output.
+func (g *Graph) MarkOutput(name string) {
+	g.Outputs = append(g.Outputs, name)
+}
+
+// AddTensor declares an intermediate activation tensor. The shape may be
+// nil and filled in later by InferShapes.
+func (g *Graph) AddTensor(name string, shape tensor.Shape) {
+	g.Tensors[name] = &TensorInfo{Name: name, Shape: shape.Clone()}
+}
+
+// AddWeight declares a weight tensor with initializer data.
+func (g *Graph) AddWeight(name string, t *tensor.Tensor) {
+	g.Tensors[name] = &TensorInfo{Name: name, Shape: t.Shape.Clone(), Init: t, Param: true}
+}
+
+// AddParam declares a shape-only weight tensor (no initializer data),
+// sufficient for compilation and timing but not functional execution.
+func (g *Graph) AddParam(name string, shape ...int) {
+	g.Tensors[name] = &TensorInfo{Name: name, Shape: tensor.Shape(shape).Clone(), Param: true}
+}
+
+// AddNode appends a node, implicitly declaring unseen output tensors.
+func (g *Graph) AddNode(n *Node) {
+	for _, out := range n.Outputs {
+		if _, ok := g.Tensors[out]; !ok {
+			g.Tensors[out] = &TensorInfo{Name: out}
+		}
+	}
+	g.Nodes = append(g.Nodes, n)
+}
+
+// Node returns the node with the given name, or nil.
+func (g *Graph) Node(name string) *Node {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Producer returns the node producing tensor name, or nil for graph inputs
+// and weights.
+func (g *Graph) Producer(name string) *Node {
+	for _, n := range g.Nodes {
+		for _, out := range n.Outputs {
+			if out == name {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// Consumers returns the nodes that read tensor name.
+func (g *Graph) Consumers(name string) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if in == name {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the graph. Weight initializer data is shared (weights
+// are immutable), but TensorInfo records and nodes are copied.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	c.Inputs = append([]string(nil), g.Inputs...)
+	c.Outputs = append([]string(nil), g.Outputs...)
+	for name, ti := range g.Tensors {
+		c.Tensors[name] = &TensorInfo{Name: ti.Name, Shape: ti.Shape.Clone(), Init: ti.Init, Param: ti.Param}
+	}
+	for _, n := range g.Nodes {
+		c.Nodes = append(c.Nodes, n.Clone())
+	}
+	return c
+}
+
+// RemoveNode deletes the node with the given name. Tensor records are kept
+// (they may still be referenced).
+func (g *Graph) RemoveNode(name string) bool {
+	for i, n := range g.Nodes {
+		if n.Name == name {
+			g.Nodes = append(g.Nodes[:i], g.Nodes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceNode substitutes the node named old with the given nodes, splicing
+// them in at the same position.
+func (g *Graph) ReplaceNode(old string, repl ...*Node) error {
+	for i, n := range g.Nodes {
+		if n.Name == old {
+			for _, r := range repl {
+				for _, out := range r.Outputs {
+					if _, ok := g.Tensors[out]; !ok {
+						g.Tensors[out] = &TensorInfo{Name: out}
+					}
+				}
+			}
+			rest := append([]*Node(nil), g.Nodes[i+1:]...)
+			g.Nodes = append(g.Nodes[:i], repl...)
+			g.Nodes = append(g.Nodes, rest...)
+			return nil
+		}
+	}
+	return fmt.Errorf("graph: node %q not found", old)
+}
+
+// IsDepthwise reports whether a Conv node is depthwise: grouped with one
+// input channel per group.
+func (g *Graph) IsDepthwise(n *Node) bool {
+	if n.Op != OpConv {
+		return false
+	}
+	p, err := ConvParamsOf(n)
+	if err != nil || p.Group == 1 {
+		return false
+	}
+	in := g.Tensors[n.Inputs[0]]
+	if in == nil || len(in.Shape) != 4 {
+		return false
+	}
+	return p.Group == in.Shape[3]
+}
+
+// IsPIMCandidate reports whether a node can be offloaded to DRAM-PIM:
+// Conv layers (except depthwise) and Gemm layers (paper §4.2.1).
+func (g *Graph) IsPIMCandidate(n *Node) bool {
+	switch n.Op {
+	case OpGemm:
+		return true
+	case OpConv:
+		return !g.IsDepthwise(n)
+	default:
+		return false
+	}
+}
+
+// Summary returns a human-readable multi-line description of the graph.
+func (g *Graph) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s: %d nodes, inputs %v, outputs %v\n", g.Name, len(g.Nodes), g.Inputs, g.Outputs)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %-28s %-14s %v -> %v", n.Name, n.Op, n.Inputs, n.Outputs)
+		if ti := g.Tensors[n.Outputs[0]]; ti != nil && ti.Shape != nil {
+			fmt.Fprintf(&b, " %v", ti.Shape)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WeightBytes returns the total size of all initializers in bytes, assuming
+// 2-byte (fp16) storage as on the PIM device.
+func (g *Graph) WeightBytes() int64 {
+	var total int64
+	for _, ti := range g.Tensors {
+		if ti.IsWeight() {
+			total += int64(ti.Shape.Elems()) * 2
+		}
+	}
+	return total
+}
+
+// TensorNames returns all tensor names in sorted order (for deterministic
+// iteration).
+func (g *Graph) TensorNames() []string {
+	names := make([]string, 0, len(g.Tensors))
+	for n := range g.Tensors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

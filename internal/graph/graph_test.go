@@ -1,0 +1,374 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"pimflow/internal/tensor"
+)
+
+func simpleConvGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("test", 1, 8, 8, 3)
+	g, err := b.Conv(16, 3, 3, 1, 1, [4]int{1, 1, 1, 1}, 1).Relu().Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderConvShapes(t *testing.T) {
+	g := simpleConvGraph(t)
+	out := g.Tensors[g.Outputs[0]]
+	if !out.Shape.Equal(tensor.Shape{1, 8, 8, 16}) {
+		t.Fatalf("output shape %v", out.Shape)
+	}
+	if len(g.Nodes) != 2 {
+		t.Fatalf("want 2 nodes, got %d", len(g.Nodes))
+	}
+}
+
+func TestConvParamsOf(t *testing.T) {
+	g := simpleConvGraph(t)
+	conv := g.Nodes[0]
+	p, err := ConvParamsOf(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.KernelH != 3 || p.StrideH != 1 || p.PadT != 1 || p.Group != 1 {
+		t.Fatalf("params %+v", p)
+	}
+	if _, err := ConvParamsOf(g.Nodes[1]); err == nil {
+		t.Fatal("ConvParamsOf accepted a Relu node")
+	}
+}
+
+func TestConvParamsDefaults(t *testing.T) {
+	n := &Node{Name: "c", Op: OpConv, Attrs: NewAttrs()}
+	n.Attrs.SetInts("kernel_shape", 5, 5)
+	p, err := ConvParamsOf(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StrideH != 1 || p.StrideW != 1 || p.PadB != 0 || p.Group != 1 {
+		t.Fatalf("defaults %+v", p)
+	}
+}
+
+func TestAttrsCloneIndependent(t *testing.T) {
+	a := NewAttrs()
+	a.SetInts("k", 1, 2)
+	a.SetFloat("f", 3.5)
+	a.SetStr("s", "x")
+	c := a.Clone()
+	c.Ints["k"][0] = 9
+	c.SetFloat("f", 7)
+	if a.Int("k", 0) != 1 || a.Float("f", 0) != 3.5 || a.Str("s", "") != "x" {
+		t.Fatal("clone aliased original")
+	}
+	if a.Int("missing", 42) != 42 || a.Float("missing", 1.5) != 1.5 || a.Str("missing", "d") != "d" {
+		t.Fatal("defaults broken")
+	}
+}
+
+func TestTopoSortStable(t *testing.T) {
+	g := simpleConvGraph(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0].Name != g.Nodes[0].Name || order[1].Name != g.Nodes[1].Name {
+		t.Fatal("already-sorted graph reordered")
+	}
+}
+
+func TestTopoSortOutOfOrder(t *testing.T) {
+	g := New("x")
+	g.AddInput("in", 1, 4, 4, 2)
+	// Insert consumer before producer.
+	g.AddNode(&Node{Name: "b", Op: OpRelu, Inputs: []string{"mid"}, Outputs: []string{"out"}, Attrs: NewAttrs()})
+	g.AddNode(&Node{Name: "a", Op: OpSigmoid, Inputs: []string{"in"}, Outputs: []string{"mid"}, Attrs: NewAttrs()})
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0].Name != "a" || order[1].Name != "b" {
+		t.Fatalf("order %s,%s", order[0].Name, order[1].Name)
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New("cyc")
+	g.AddNode(&Node{Name: "a", Op: OpRelu, Inputs: []string{"t2"}, Outputs: []string{"t1"}, Attrs: NewAttrs()})
+	g.AddNode(&Node{Name: "b", Op: OpRelu, Inputs: []string{"t1"}, Outputs: []string{"t2"}, Attrs: NewAttrs()})
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestTopoSortDuplicateProducer(t *testing.T) {
+	g := New("dup")
+	g.AddInput("in", 1, 2, 2, 1)
+	g.AddNode(&Node{Name: "a", Op: OpRelu, Inputs: []string{"in"}, Outputs: []string{"t"}, Attrs: NewAttrs()})
+	g.AddNode(&Node{Name: "b", Op: OpRelu, Inputs: []string{"in"}, Outputs: []string{"t"}, Attrs: NewAttrs()})
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("duplicate producer not detected")
+	}
+}
+
+func TestTopoSortUndeclaredInput(t *testing.T) {
+	g := New("und")
+	g.AddNode(&Node{Name: "a", Op: OpRelu, Inputs: []string{"ghost"}, Outputs: []string{"t"}, Attrs: NewAttrs()})
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("undeclared input not detected")
+	}
+}
+
+func TestInferGemm(t *testing.T) {
+	b := NewBuilder("g", 1, 2, 2, 4)
+	g, err := b.Flatten().Gemm(10).Softmax().Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Tensors[g.Outputs[0]].Shape.Equal(tensor.Shape{1, 10}) {
+		t.Fatalf("shape %v", g.Tensors[g.Outputs[0]].Shape)
+	}
+}
+
+func TestInferPoolAndGAP(t *testing.T) {
+	b := NewBuilder("p", 1, 8, 8, 4)
+	b.MaxPool(2, 2, [4]int{0, 0, 0, 0})
+	g, err := b.GlobalAvgPool().Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := g.Tensors[g.Nodes[0].Outputs[0]]
+	if !mid.Shape.Equal(tensor.Shape{1, 4, 4, 4}) {
+		t.Fatalf("pool shape %v", mid.Shape)
+	}
+	if !g.Tensors[g.Outputs[0]].Shape.Equal(tensor.Shape{1, 1, 1, 4}) {
+		t.Fatalf("gap shape %v", g.Tensors[g.Outputs[0]].Shape)
+	}
+}
+
+func TestInferConcatSlicePad(t *testing.T) {
+	g := New("csp")
+	g.AddInput("in", 1, 6, 4, 2)
+	n1 := &Node{Name: "s1", Op: OpSlice, Inputs: []string{"in"}, Outputs: []string{"lo"}, Attrs: NewAttrs()}
+	n1.Attrs.SetInts("axis", 1)
+	n1.Attrs.SetInts("start", 0)
+	n1.Attrs.SetInts("end", 2)
+	g.AddNode(n1)
+	n2 := &Node{Name: "s2", Op: OpSlice, Inputs: []string{"in"}, Outputs: []string{"hi"}, Attrs: NewAttrs()}
+	n2.Attrs.SetInts("axis", 1)
+	n2.Attrs.SetInts("start", 2)
+	n2.Attrs.SetInts("end", 6)
+	g.AddNode(n2)
+	n3 := &Node{Name: "c", Op: OpConcat, Inputs: []string{"lo", "hi"}, Outputs: []string{"cat"}, Attrs: NewAttrs()}
+	n3.Attrs.SetInts("axis", 1)
+	g.AddNode(n3)
+	n4 := &Node{Name: "p", Op: OpPad, Inputs: []string{"cat"}, Outputs: []string{"out"}, Attrs: NewAttrs()}
+	n4.Attrs.SetInts("pads", 1, 2, 1, 2)
+	g.AddNode(n4)
+	g.MarkOutput("out")
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Tensors["cat"].Shape.Equal(tensor.Shape{1, 6, 4, 2}) {
+		t.Fatalf("concat shape %v", g.Tensors["cat"].Shape)
+	}
+	if !g.Tensors["out"].Shape.Equal(tensor.Shape{1, 8, 8, 2}) {
+		t.Fatalf("pad shape %v", g.Tensors["out"].Shape)
+	}
+}
+
+func TestInferBroadcastSE(t *testing.T) {
+	g := New("se")
+	g.AddInput("x", 1, 7, 7, 32)
+	g.AddInput("scale", 1, 1, 1, 32)
+	g.AddNode(&Node{Name: "m", Op: OpMul, Inputs: []string{"x", "scale"}, Outputs: []string{"y"}, Attrs: NewAttrs()})
+	g.MarkOutput("y")
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Tensors["y"].Shape.Equal(tensor.Shape{1, 7, 7, 32}) {
+		t.Fatalf("shape %v", g.Tensors["y"].Shape)
+	}
+	// Incompatible broadcast must error.
+	g2 := New("bad")
+	g2.AddInput("a", 1, 7, 7, 32)
+	g2.AddInput("b", 1, 7, 7, 16)
+	g2.AddNode(&Node{Name: "m", Op: OpMul, Inputs: []string{"a", "b"}, Outputs: []string{"y"}, Attrs: NewAttrs()})
+	if err := g2.InferShapes(); err == nil {
+		t.Fatal("incompatible broadcast accepted")
+	}
+}
+
+func TestInferConvErrors(t *testing.T) {
+	g := New("bad")
+	g.AddInput("in", 1, 8, 8, 3)
+	w := tensor.New(3, 3, 4, 16) // wrong Cin
+	g.AddWeight("w", w)
+	n := &Node{Name: "c", Op: OpConv, Inputs: []string{"in", "w"}, Outputs: []string{"out"}, Attrs: NewAttrs()}
+	n.Attrs.SetInts("kernel_shape", 3, 3)
+	g.AddNode(n)
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("Cin mismatch accepted")
+	}
+}
+
+func TestIsDepthwiseAndPIMCandidate(t *testing.T) {
+	b := NewBuilder("dw", 1, 8, 8, 16)
+	b.DepthwiseConv(3, 3, 1, 1, [4]int{1, 1, 1, 1})
+	b.PointwiseConv(32)
+	g, err := b.Flatten().Gemm(10).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dw, pw, fc *Node
+	for _, n := range g.Nodes {
+		switch {
+		case n.Op == OpConv && dw == nil:
+			dw = n
+		case n.Op == OpConv:
+			pw = n
+		case n.Op == OpGemm:
+			fc = n
+		}
+	}
+	if !g.IsDepthwise(dw) {
+		t.Error("depthwise conv not detected")
+	}
+	if g.IsDepthwise(pw) {
+		t.Error("pointwise conv reported depthwise")
+	}
+	if g.IsPIMCandidate(dw) {
+		t.Error("depthwise conv reported PIM candidate")
+	}
+	if !g.IsPIMCandidate(pw) || !g.IsPIMCandidate(fc) {
+		t.Error("pointwise/FC not PIM candidates")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := simpleConvGraph(t)
+	c := g.Clone()
+	c.Nodes[0].Name = "renamed"
+	c.Tensors["input"].Shape[1] = 99
+	if g.Nodes[0].Name == "renamed" {
+		t.Fatal("node aliased")
+	}
+	if g.Tensors["input"].Shape[1] == 99 {
+		t.Fatal("tensor info aliased")
+	}
+}
+
+func TestReplaceNodePreservesOrder(t *testing.T) {
+	g := simpleConvGraph(t)
+	r1 := &Node{Name: "x1", Op: OpIdentity, Inputs: []string{"input"}, Outputs: []string{"t1"}, Attrs: NewAttrs()}
+	r2 := &Node{Name: "x2", Op: OpIdentity, Inputs: []string{"t1"}, Outputs: []string{g.Nodes[0].Outputs[0]}, Attrs: NewAttrs()}
+	convName := g.Nodes[0].Name
+	if err := g.ReplaceNode(convName, r1, r2); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 3 || g.Nodes[0].Name != "x1" || g.Nodes[1].Name != "x2" {
+		t.Fatalf("splice wrong: %v", g.Summary())
+	}
+	if err := g.ReplaceNode("missing", r1); err == nil {
+		t.Fatal("missing node accepted")
+	}
+}
+
+func TestProducerConsumers(t *testing.T) {
+	g := simpleConvGraph(t)
+	convOut := g.Nodes[0].Outputs[0]
+	if p := g.Producer(convOut); p == nil || p.Name != g.Nodes[0].Name {
+		t.Fatal("wrong producer")
+	}
+	if p := g.Producer("input"); p != nil {
+		t.Fatal("graph input has a producer")
+	}
+	cs := g.Consumers(convOut)
+	if len(cs) != 1 || cs[0].Op != OpRelu {
+		t.Fatal("wrong consumers")
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	g := simpleConvGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.Nodes[1].Name = g.Nodes[0].Name
+	if err := g.Validate(); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestIndependentNodeFraction(t *testing.T) {
+	// Straight line: no independent nodes.
+	b := NewBuilder("line", 1, 4, 4, 2)
+	g, err := b.Relu().Sigmoid().SiLU().Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := g.IndependentNodeFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Fatalf("straight line fraction %v", f)
+	}
+	// Diamond: two middle branches are independent.
+	g2 := New("diamond")
+	g2.AddInput("in", 1, 4, 4, 2)
+	g2.AddNode(&Node{Name: "l", Op: OpRelu, Inputs: []string{"in"}, Outputs: []string{"a"}, Attrs: NewAttrs()})
+	g2.AddNode(&Node{Name: "r", Op: OpSigmoid, Inputs: []string{"in"}, Outputs: []string{"b"}, Attrs: NewAttrs()})
+	g2.AddNode(&Node{Name: "j", Op: OpAdd, Inputs: []string{"a", "b"}, Outputs: []string{"c"}, Attrs: NewAttrs()})
+	g2.MarkOutput("c")
+	f2, err := g2.IndependentNodeFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 <= 0.5 || f2 > 0.7 {
+		t.Fatalf("diamond fraction %v, want 2/3", f2)
+	}
+}
+
+func TestSummaryAndWeightBytes(t *testing.T) {
+	g := simpleConvGraph(t)
+	s := g.Summary()
+	if !strings.Contains(s, "Conv") || !strings.Contains(s, "Relu") {
+		t.Fatalf("summary missing ops:\n%s", s)
+	}
+	// conv weights 3*3*3*16 + bias 16 = 448 elems * 2 bytes
+	if got := g.WeightBytes(); got != 896 {
+		t.Fatalf("WeightBytes = %d", got)
+	}
+}
+
+func TestExecHintStrings(t *testing.T) {
+	if DeviceGPU.String() != "GPU" || DevicePIM.String() != "PIM" {
+		t.Fatal("device strings")
+	}
+	if ModeSerial.String() != "serial" || ModeMDDP.String() != "md-dp" || ModePipeline.String() != "pipeline" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestBuilderSetCur(t *testing.T) {
+	b := NewBuilder("sc", 1, 4, 4, 2)
+	b.Relu()
+	saved := b.Cur()
+	b.Sigmoid()
+	b.SetCur(saved)
+	if b.Cur() != saved {
+		t.Fatal("SetCur failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCur of unknown tensor did not panic")
+		}
+	}()
+	b.SetCur("nope")
+}

@@ -1,0 +1,375 @@
+package graph
+
+import (
+	"fmt"
+
+	"pimflow/internal/tensor"
+)
+
+// InferShapes computes the shape of every tensor in the graph from the
+// graph inputs and weight initializers, walking nodes in topological
+// order. It returns an error if any node's inputs are inconsistent.
+func (g *Graph) InferShapes() error {
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	for _, n := range order {
+		if err := g.inferNode(n); err != nil {
+			return fmt.Errorf("graph: %s %q: %w", n.Op, n.Name, err)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) shapeOf(name string) (tensor.Shape, error) {
+	ti, ok := g.Tensors[name]
+	if !ok {
+		return nil, fmt.Errorf("undeclared tensor %q", name)
+	}
+	if !ti.Shape.Valid() {
+		return nil, fmt.Errorf("tensor %q has no shape yet", name)
+	}
+	return ti.Shape, nil
+}
+
+func (g *Graph) setShape(name string, s tensor.Shape) {
+	ti, ok := g.Tensors[name]
+	if !ok {
+		ti = &TensorInfo{Name: name}
+		g.Tensors[name] = ti
+	}
+	ti.Shape = s.Clone()
+}
+
+func (g *Graph) inferNode(n *Node) error {
+	switch n.Op {
+	case OpConv:
+		return g.inferConv(n)
+	case OpGemm:
+		return g.inferGemm(n)
+	case OpMatMul:
+		return g.inferMatMul(n)
+	case OpTranspose:
+		in, err := g.shapeOf(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		if len(in) != 2 {
+			return fmt.Errorf("want 2-D input, got %v", in)
+		}
+		g.setShape(n.Outputs[0], tensor.Shape{in[1], in[0]})
+		return nil
+	case OpRelu, OpClip, OpSigmoid, OpSiLU, OpGelu, OpSoftmax, OpLayerNorm, OpIdentity:
+		in, err := g.shapeOf(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		g.setShape(n.Outputs[0], in)
+		return nil
+	case OpBatchNorm:
+		in, err := g.shapeOf(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		if len(in) != 4 {
+			return fmt.Errorf("want NHWC input, got %v", in)
+		}
+		if len(n.Inputs) != 5 {
+			return fmt.Errorf("want 5 inputs (x, scale, bias, mean, var), got %d", len(n.Inputs))
+		}
+		for _, p := range n.Inputs[1:] {
+			s, err := g.shapeOf(p)
+			if err != nil {
+				return err
+			}
+			if len(s) != 1 || s[0] != in[3] {
+				return fmt.Errorf("parameter %q shape %v mismatches C=%d", p, s, in[3])
+			}
+		}
+		g.setShape(n.Outputs[0], in)
+		return nil
+	case OpAdd, OpMul:
+		return g.inferBroadcast(n)
+	case OpGlobalAvgPool:
+		in, err := g.shapeOf(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		if len(in) != 4 {
+			return fmt.Errorf("want NHWC input, got %v", in)
+		}
+		g.setShape(n.Outputs[0], tensor.Shape{in[0], 1, 1, in[3]})
+		return nil
+	case OpMaxPool, OpAvgPool:
+		return g.inferPool(n)
+	case OpFlatten:
+		in, err := g.shapeOf(n.Inputs[0])
+		if err != nil {
+			return err
+		}
+		rest := 1
+		for _, d := range in[1:] {
+			rest *= d
+		}
+		g.setShape(n.Outputs[0], tensor.Shape{in[0], rest})
+		return nil
+	case OpConcat:
+		return g.inferConcat(n)
+	case OpSlice:
+		return g.inferSlice(n)
+	case OpPad:
+		return g.inferPad(n)
+	default:
+		return fmt.Errorf("unknown op %q", n.Op)
+	}
+}
+
+func (g *Graph) inferConv(n *Node) error {
+	p, err := ConvParamsOf(n)
+	if err != nil {
+		return err
+	}
+	in, err := g.shapeOf(n.Inputs[0])
+	if err != nil {
+		return err
+	}
+	w, err := g.shapeOf(n.Inputs[1])
+	if err != nil {
+		return err
+	}
+	if len(in) != 4 {
+		return fmt.Errorf("want NHWC input, got %v", in)
+	}
+	if len(w) != 4 {
+		return fmt.Errorf("want [KH,KW,Cin/g,F] weight, got %v", w)
+	}
+	if w[0] != p.KernelH || w[1] != p.KernelW {
+		return fmt.Errorf("weight kernel %dx%d mismatches attr %dx%d", w[0], w[1], p.KernelH, p.KernelW)
+	}
+	cin, f := in[3], w[3]
+	if w[2]*p.Group != cin {
+		return fmt.Errorf("weight Cin/g=%d with group=%d mismatches input C=%d", w[2], p.Group, cin)
+	}
+	if f%p.Group != 0 {
+		return fmt.Errorf("output channels %d not divisible by group %d", f, p.Group)
+	}
+	if len(n.Inputs) > 2 {
+		b, err := g.shapeOf(n.Inputs[2])
+		if err != nil {
+			return err
+		}
+		if len(b) != 1 || b[0] != f {
+			return fmt.Errorf("bias shape %v mismatches F=%d", b, f)
+		}
+	}
+	oh := (in[1]+p.PadT+p.PadB-p.KernelH)/p.StrideH + 1
+	ow := (in[2]+p.PadL+p.PadR-p.KernelW)/p.StrideW + 1
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("non-positive output %dx%d for input %v", oh, ow, in)
+	}
+	g.setShape(n.Outputs[0], tensor.Shape{in[0], oh, ow, f})
+	return nil
+}
+
+func (g *Graph) inferGemm(n *Node) error {
+	in, err := g.shapeOf(n.Inputs[0])
+	if err != nil {
+		return err
+	}
+	w, err := g.shapeOf(n.Inputs[1])
+	if err != nil {
+		return err
+	}
+	if len(in) != 2 || len(w) != 2 {
+		return fmt.Errorf("want 2-D operands, got %v x %v", in, w)
+	}
+	if in[1] != w[0] {
+		return fmt.Errorf("inner dims mismatch: %v x %v", in, w)
+	}
+	if len(n.Inputs) > 2 {
+		b, err := g.shapeOf(n.Inputs[2])
+		if err != nil {
+			return err
+		}
+		if len(b) != 1 || b[0] != w[1] {
+			return fmt.Errorf("bias shape %v mismatches N=%d", b, w[1])
+		}
+	}
+	g.setShape(n.Outputs[0], tensor.Shape{in[0], w[1]})
+	return nil
+}
+
+func (g *Graph) inferMatMul(n *Node) error {
+	a, err := g.shapeOf(n.Inputs[0])
+	if err != nil {
+		return err
+	}
+	b, err := g.shapeOf(n.Inputs[1])
+	if err != nil {
+		return err
+	}
+	switch {
+	case len(a) == 2 && len(b) == 2:
+		if a[1] != b[0] {
+			return fmt.Errorf("inner dims mismatch: %v x %v", a, b)
+		}
+		g.setShape(n.Outputs[0], tensor.Shape{a[0], b[1]})
+	case len(a) == 3 && len(b) == 3:
+		if a[0] != b[0] || a[2] != b[1] {
+			return fmt.Errorf("batched dims mismatch: %v x %v", a, b)
+		}
+		g.setShape(n.Outputs[0], tensor.Shape{a[0], a[1], b[2]})
+	default:
+		return fmt.Errorf("unsupported ranks: %v x %v", a, b)
+	}
+	return nil
+}
+
+func (g *Graph) inferBroadcast(n *Node) error {
+	a, err := g.shapeOf(n.Inputs[0])
+	if err != nil {
+		return err
+	}
+	b, err := g.shapeOf(n.Inputs[1])
+	if err != nil {
+		return err
+	}
+	if a.Equal(b) {
+		g.setShape(n.Outputs[0], a)
+		return nil
+	}
+	// Broadcast [1,1,1,C] against [1,H,W,C] (squeeze-excite scaling).
+	if len(a) == 4 && len(b) == 4 && a[0] == b[0] && a[3] == b[3] {
+		if b[1] == 1 && b[2] == 1 {
+			g.setShape(n.Outputs[0], a)
+			return nil
+		}
+		if a[1] == 1 && a[2] == 1 {
+			g.setShape(n.Outputs[0], b)
+			return nil
+		}
+	}
+	return fmt.Errorf("cannot broadcast %v with %v", a, b)
+}
+
+func (g *Graph) inferPool(n *Node) error {
+	in, err := g.shapeOf(n.Inputs[0])
+	if err != nil {
+		return err
+	}
+	if len(in) != 4 {
+		return fmt.Errorf("want NHWC input, got %v", in)
+	}
+	k := n.Attrs.IntList("kernel_shape", nil)
+	if len(k) != 2 {
+		return fmt.Errorf("missing kernel_shape")
+	}
+	s := n.Attrs.IntList("strides", []int{k[0], k[1]})
+	p := n.Attrs.IntList("pads", []int{0, 0, 0, 0})
+	oh := (in[1]+p[0]+p[2]-k[0])/s[0] + 1
+	ow := (in[2]+p[1]+p[3]-k[1])/s[1] + 1
+	if oh <= 0 || ow <= 0 {
+		return fmt.Errorf("non-positive output %dx%d", oh, ow)
+	}
+	g.setShape(n.Outputs[0], tensor.Shape{in[0], oh, ow, in[3]})
+	return nil
+}
+
+func (g *Graph) inferConcat(n *Node) error {
+	axis := n.Attrs.Int("axis", 1)
+	var out tensor.Shape
+	for i, in := range n.Inputs {
+		s, err := g.shapeOf(in)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			out = s.Clone()
+			continue
+		}
+		if len(s) != len(out) {
+			return fmt.Errorf("rank mismatch %v vs %v", s, out)
+		}
+		for d := range s {
+			if d == axis {
+				continue
+			}
+			if s[d] != out[d] {
+				return fmt.Errorf("dim %d mismatch %v vs %v", d, s, out)
+			}
+		}
+		out[axis] += s[axis]
+	}
+	if axis < 0 || axis >= len(out) {
+		return fmt.Errorf("axis %d out of range for %v", axis, out)
+	}
+	g.setShape(n.Outputs[0], out)
+	return nil
+}
+
+func (g *Graph) inferSlice(n *Node) error {
+	in, err := g.shapeOf(n.Inputs[0])
+	if err != nil {
+		return err
+	}
+	axis := n.Attrs.Int("axis", 1)
+	start := n.Attrs.Int("start", 0)
+	end := n.Attrs.Int("end", -1)
+	if axis < 0 || axis >= len(in) {
+		return fmt.Errorf("axis %d out of range for %v", axis, in)
+	}
+	if end < 0 || end > in[axis] {
+		end = in[axis]
+	}
+	if start < 0 || start >= end {
+		return fmt.Errorf("slice [%d,%d) invalid for dim %d", start, end, in[axis])
+	}
+	out := in.Clone()
+	out[axis] = end - start
+	g.setShape(n.Outputs[0], out)
+	return nil
+}
+
+func (g *Graph) inferPad(n *Node) error {
+	in, err := g.shapeOf(n.Inputs[0])
+	if err != nil {
+		return err
+	}
+	if len(in) != 4 {
+		return fmt.Errorf("want NHWC input, got %v", in)
+	}
+	p := n.Attrs.IntList("pads", []int{0, 0, 0, 0})
+	if len(p) != 4 {
+		return fmt.Errorf("want pads [t,l,b,r], got %v", p)
+	}
+	g.setShape(n.Outputs[0], tensor.Shape{in[0], in[1] + p[0] + p[2], in[2] + p[1] + p[3], in[3]})
+	return nil
+}
+
+// Validate performs structural checks: unique node names, declared inputs,
+// resolvable topology, and successful shape inference on a clone.
+func (g *Graph) Validate() error {
+	seen := map[string]bool{}
+	for _, n := range g.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("graph: unnamed node (%s)", n.Op)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("graph: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		if len(n.Outputs) == 0 {
+			return fmt.Errorf("graph: node %q has no outputs", n.Name)
+		}
+	}
+	for _, out := range g.Outputs {
+		if _, ok := g.Tensors[out]; !ok {
+			return fmt.Errorf("graph: output %q undeclared", out)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return g.Clone().InferShapes()
+}

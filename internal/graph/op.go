@@ -1,0 +1,149 @@
+// Package graph implements the ONNX-like model graph intermediate
+// representation that PIMFlow's transformation passes operate on. Graphs
+// hold named tensors (activations and weight initializers), nodes in
+// insertion order, and per-node attributes mirroring ONNX opset 13
+// conventions, restricted to the operators present in the paper's model
+// suite (CNN backbones plus a BERT-style encoder).
+package graph
+
+import "fmt"
+
+// OpType identifies a node's operator.
+type OpType string
+
+// Operators supported by the IR. PIM-candidate operators (paper §4.2.1)
+// are Conv (except depthwise) and Gemm; everything else executes on GPU.
+const (
+	OpConv          OpType = "Conv"          // NHWC convolution, optionally grouped/depthwise
+	OpGemm          OpType = "Gemm"          // fully-connected: [M,K] x [K,N]
+	OpMatMul        OpType = "MatMul"        // batched matmul (BERT attention)
+	OpRelu          OpType = "Relu"          // elementwise max(0, x)
+	OpClip          OpType = "Clip"          // elementwise clamp (ReLU6)
+	OpSigmoid       OpType = "Sigmoid"       // elementwise logistic
+	OpSiLU          OpType = "SiLU"          // x * sigmoid(x) (EfficientNet "swish")
+	OpGelu          OpType = "Gelu"          // BERT activation
+	OpAdd           OpType = "Add"           // elementwise add (residual)
+	OpMul           OpType = "Mul"           // elementwise/broadcast multiply (SE scale)
+	OpGlobalAvgPool OpType = "GlobalAvgPool" // NHWC -> [N,1,1,C]
+	OpMaxPool       OpType = "MaxPool"       // spatial max pooling
+	OpAvgPool       OpType = "AvgPool"       // spatial average pooling
+	OpFlatten       OpType = "Flatten"       // NHWC -> [N, H*W*C]
+	OpConcat        OpType = "Concat"        // concat along attribute axis
+	OpSlice         OpType = "Slice"         // slice along attribute axis
+	OpPad           OpType = "Pad"           // spatial zero padding
+	OpSoftmax       OpType = "Softmax"       // last-axis softmax
+	OpLayerNorm     OpType = "LayerNorm"     // BERT layer normalization
+	OpIdentity      OpType = "Identity"      // pass-through (stage boundaries)
+	OpTranspose     OpType = "Transpose"     // 2-D matrix transpose (BERT K^T)
+	OpBatchNorm     OpType = "BatchNorm"     // inference-mode batch norm (folded by the compiler)
+)
+
+// Attrs is the node attribute bag. Values are int slices, floats, or
+// strings, matching the subset of ONNX attribute kinds the IR needs.
+type Attrs struct {
+	Ints   map[string][]int
+	Floats map[string]float64
+	Strs   map[string]string
+}
+
+// NewAttrs returns an empty attribute bag.
+func NewAttrs() Attrs {
+	return Attrs{
+		Ints:   map[string][]int{},
+		Floats: map[string]float64{},
+		Strs:   map[string]string{},
+	}
+}
+
+// Clone deep-copies the attribute bag.
+func (a Attrs) Clone() Attrs {
+	c := NewAttrs()
+	for k, v := range a.Ints {
+		vv := make([]int, len(v))
+		copy(vv, v)
+		c.Ints[k] = vv
+	}
+	for k, v := range a.Floats {
+		c.Floats[k] = v
+	}
+	for k, v := range a.Strs {
+		c.Strs[k] = v
+	}
+	return c
+}
+
+// Int returns the first element of integer attribute k, or def.
+func (a Attrs) Int(k string, def int) int {
+	if v, ok := a.Ints[k]; ok && len(v) > 0 {
+		return v[0]
+	}
+	return def
+}
+
+// IntList returns integer attribute k, or def.
+func (a Attrs) IntList(k string, def []int) []int {
+	if v, ok := a.Ints[k]; ok {
+		return v
+	}
+	return def
+}
+
+// Float returns float attribute k, or def.
+func (a Attrs) Float(k string, def float64) float64 {
+	if v, ok := a.Floats[k]; ok {
+		return v
+	}
+	return def
+}
+
+// Str returns string attribute k, or def.
+func (a Attrs) Str(k, def string) string {
+	if v, ok := a.Strs[k]; ok {
+		return v
+	}
+	return def
+}
+
+// SetInts stores an integer-list attribute.
+func (a Attrs) SetInts(k string, v ...int) { a.Ints[k] = v }
+
+// SetFloat stores a float attribute.
+func (a Attrs) SetFloat(k string, v float64) { a.Floats[k] = v }
+
+// SetStr stores a string attribute.
+func (a Attrs) SetStr(k, v string) { a.Strs[k] = v }
+
+// ConvParams is the decoded attribute set of a Conv node.
+type ConvParams struct {
+	KernelH, KernelW int
+	StrideH, StrideW int
+	// Pads are top, left, bottom, right.
+	PadT, PadL, PadB, PadR int
+	Group                  int
+}
+
+// ConvParamsOf decodes a Conv node's attributes, applying ONNX defaults.
+func ConvParamsOf(n *Node) (ConvParams, error) {
+	if n.Op != OpConv {
+		return ConvParams{}, fmt.Errorf("graph: node %q is %s, not Conv", n.Name, n.Op)
+	}
+	k := n.Attrs.IntList("kernel_shape", nil)
+	if len(k) != 2 {
+		return ConvParams{}, fmt.Errorf("graph: Conv %q missing kernel_shape", n.Name)
+	}
+	s := n.Attrs.IntList("strides", []int{1, 1})
+	p := n.Attrs.IntList("pads", []int{0, 0, 0, 0})
+	if len(s) != 2 || len(p) != 4 {
+		return ConvParams{}, fmt.Errorf("graph: Conv %q malformed strides/pads", n.Name)
+	}
+	g := n.Attrs.Int("group", 1)
+	if g < 1 {
+		return ConvParams{}, fmt.Errorf("graph: Conv %q group %d < 1", n.Name, g)
+	}
+	return ConvParams{
+		KernelH: k[0], KernelW: k[1],
+		StrideH: s[0], StrideW: s[1],
+		PadT: p[0], PadL: p[1], PadB: p[2], PadR: p[3],
+		Group: g,
+	}, nil
+}

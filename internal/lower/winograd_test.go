@@ -1,0 +1,115 @@
+package lower
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimflow/internal/graph"
+	"pimflow/internal/interp"
+	"pimflow/internal/tensor"
+)
+
+func convParams3x3(pad int) graph.ConvParams {
+	return graph.ConvParams{
+		KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1,
+		PadT: pad, PadL: pad, PadB: pad, PadR: pad, Group: 1,
+	}
+}
+
+func TestWinogradMatchesDirectSmall(t *testing.T) {
+	in := tensor.New(1, 6, 6, 2)
+	in.FillRandom(1)
+	w := tensor.New(3, 3, 2, 4)
+	w.FillRandom(2)
+	b := tensor.New(4)
+	b.FillRandom(3)
+	p := convParams3x3(1)
+	direct, err := interp.Conv(in, w, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wino, err := ConvWinograd(in, w, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(direct, wino, 1e-4) {
+		t.Fatalf("winograd diverges: max diff %v", tensor.MaxAbsDiff(direct, wino))
+	}
+}
+
+func TestWinogradOddOutputSize(t *testing.T) {
+	// 5x5 input, pad 0 -> 3x3 output: the final 2x2 tile is partial.
+	in := tensor.New(1, 5, 5, 3)
+	in.FillRandom(4)
+	w := tensor.New(3, 3, 3, 2)
+	w.FillRandom(5)
+	p := convParams3x3(0)
+	direct, err := interp.Conv(in, w, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wino, err := ConvWinograd(in, w, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(direct, wino, 1e-4) {
+		t.Fatalf("partial-tile output diverges: max diff %v", tensor.MaxAbsDiff(direct, wino))
+	}
+}
+
+func TestWinogradRejects(t *testing.T) {
+	in := tensor.New(1, 6, 6, 2)
+	w := tensor.New(3, 3, 2, 4)
+	p := convParams3x3(1)
+	p.StrideH = 2
+	if _, err := ConvWinograd(in, w, nil, p); err == nil {
+		t.Error("stride 2 accepted")
+	}
+	p = convParams3x3(1)
+	p.KernelH = 5
+	if _, err := ConvWinograd(in, w, nil, p); err == nil {
+		t.Error("5x5 kernel accepted")
+	}
+	p = convParams3x3(1)
+	if _, err := ConvWinograd(tensor.New(2, 6, 6, 2), w, nil, p); err == nil {
+		t.Error("batch 2 accepted")
+	}
+	if _, err := ConvWinograd(in, tensor.New(3, 3, 4, 4), nil, p); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+}
+
+// Property: Winograd F(2x2,3x3) equals direct convolution for any shape,
+// channel count, and padding in {0,1}.
+func TestPropertyWinogradEqualsDirect(t *testing.T) {
+	f := func(seed int64, hRaw, wRaw, cRaw, fRaw, padRaw uint8) bool {
+		h := int(hRaw%10) + 4
+		wd := int(wRaw%10) + 4
+		c := int(cRaw%4) + 1
+		fOut := int(fRaw%5) + 1
+		pad := int(padRaw % 2)
+		p := convParams3x3(pad)
+		in := tensor.New(1, h, wd, c)
+		in.FillRandom(seed)
+		w := tensor.New(3, 3, c, fOut)
+		w.FillRandom(seed + 1)
+		direct, err := interp.Conv(in, w, nil, p)
+		if err != nil {
+			return true // shape rejected by both paths
+		}
+		wino, err := ConvWinograd(in, w, nil, p)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(direct, wino, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinogradSavings(t *testing.T) {
+	if WinogradMultiplySavings() != 2.25 {
+		t.Fatalf("savings %v", WinogradMultiplySavings())
+	}
+}

@@ -1,0 +1,127 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"pimflow/internal/graph"
+)
+
+// enetScale holds EfficientNet compound-scaling coefficients.
+type enetScale struct {
+	width, depth float64
+	res          int
+}
+
+var enetScales = map[string]enetScale{
+	"b0": {1.0, 1.0, 224},
+	"b1": {1.0, 1.1, 240},
+	"b2": {1.1, 1.2, 260},
+	"b3": {1.2, 1.4, 300},
+	"b4": {1.4, 1.8, 380},
+	"b5": {1.6, 2.2, 456},
+	"b6": {1.8, 2.6, 528},
+}
+
+// roundChannels applies the EfficientNet channel rounding rule: scale,
+// round to the nearest multiple of 8, never dropping below 90% of the
+// scaled value.
+func roundChannels(c int, width float64) int {
+	v := width * float64(c)
+	nv := int(v+4) / 8 * 8
+	if nv < 8 {
+		nv = 8
+	}
+	if float64(nv) < 0.9*v {
+		nv += 8
+	}
+	return nv
+}
+
+func roundRepeats(n int, depth float64) int {
+	return int(math.Ceil(depth * float64(n)))
+}
+
+// seBlock appends a squeeze-and-excitation block scaling the current
+// tensor: global pool -> 1x1 reduce -> SiLU -> 1x1 expand -> sigmoid ->
+// channelwise multiply.
+func seBlock(b *graph.Builder, reduced int) {
+	x := b.Cur()
+	b.GlobalAvgPool()
+	b.PointwiseConv(reduced).SiLU()
+	b.PointwiseConv(b.G.Tensors[x].Shape[3]).Sigmoid()
+	scale := b.Cur()
+	b.SetCur(x)
+	b.Mul(scale)
+}
+
+// mbConvSE appends an EfficientNet MBConv block: 1x1 expand -> depthwise
+// -> squeeze-excite -> 1x1 project, with SiLU activations and a residual
+// add when shapes allow.
+func mbConvSE(b *graph.Builder, expand, out, kernel, stride, seReduce int) {
+	in := b.Cur()
+	inC := b.CurShape()[3]
+	hidden := inC * expand
+	if expand != 1 {
+		b.PointwiseConv(hidden).SiLU()
+	}
+	b.DepthwiseConv(kernel, kernel, stride, stride, samePad(kernel)).SiLU()
+	seBlock(b, seReduce)
+	b.PointwiseConv(out)
+	if stride == 1 && inC == out {
+		b.Add(in)
+	}
+}
+
+// EfficientNetB0 builds EfficientNet-B0 (Tan & Le): MBConv blocks with
+// squeeze-and-excitation and SiLU activations.
+func EfficientNetB0(o Options) *graph.Graph {
+	return efficientNet("efficientnet-v1-b0", enetScales["b0"], o)
+}
+
+// EfficientNetScaled builds the compound-scaled variant (b0..b6) used by
+// the paper's model-size sensitivity study (Fig 16).
+func EfficientNetScaled(variant string, o Options) (*graph.Graph, error) {
+	s, ok := enetScales[variant]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown EfficientNet variant %q", variant)
+	}
+	return efficientNet("efficientnet-v1-"+variant, s, o), nil
+}
+
+func efficientNet(name string, s enetScale, o Options) *graph.Graph {
+	res := resolution(o, s.res)
+	b := newBuilder(name, o, res)
+	stem := roundChannels(32, s.width)
+	b.Conv(stem, 3, 3, 2, 2, samePad(3), 1).SiLU()
+	// (expansion, channels, repeats, first-stride, kernel) for B0.
+	cfg := []struct{ t, c, n, st, k int }{
+		{1, 16, 1, 1, 3},
+		{6, 24, 2, 2, 3},
+		{6, 40, 2, 2, 5},
+		{6, 80, 3, 2, 3},
+		{6, 112, 3, 1, 5},
+		{6, 192, 4, 2, 5},
+		{6, 320, 1, 1, 3},
+	}
+	for _, st := range cfg {
+		out := roundChannels(st.c, s.width)
+		n := roundRepeats(st.n, s.depth)
+		for i := 0; i < n; i++ {
+			stride := st.st
+			if i > 0 {
+				stride = 1
+			}
+			// SE reduces to 1/4 of the block input channels.
+			red := b.CurShape()[3] / 4
+			if red < 1 {
+				red = 1
+			}
+			mbConvSE(b, st.t, out, st.k, stride, red)
+		}
+	}
+	head := roundChannels(1280, s.width)
+	b.PointwiseConv(head).SiLU()
+	b.GlobalAvgPool().Flatten().Gemm(1000).Softmax()
+	return b.MustFinish()
+}

@@ -1,0 +1,112 @@
+package models
+
+import (
+	"fmt"
+
+	"pimflow/internal/graph"
+)
+
+// invertedResidual appends a MobileNetV2-style inverted residual block:
+// 1x1 expand -> depthwise kxk -> 1x1 project, with a residual add when the
+// block preserves shape. ReLU6 activations; no activation after project.
+func invertedResidual(b *graph.Builder, expand, out, kernel, stride int) {
+	in := b.Cur()
+	inC := b.CurShape()[3]
+	hidden := inC * expand
+	if expand != 1 {
+		b.PointwiseConv(hidden).Relu6()
+	}
+	b.DepthwiseConv(kernel, kernel, stride, stride, samePad(kernel)).Relu6()
+	b.PointwiseConv(out)
+	if stride == 1 && inC == out {
+		b.Add(in)
+	}
+}
+
+// MobileNetV2 builds the inverted-residual mobile CNN (Sandler et al.) —
+// dominated by 1x1 and depthwise convolutions, the paper's flagship
+// PIMFlow workload.
+func MobileNetV2(o Options) *graph.Graph {
+	return MobileNetV2Scaled(1.0, o)
+}
+
+// MobileNetV2Scaled builds MobileNetV2 with a width multiplier (the
+// scaled-up mobile variants of the paper's Fig 16 model-size study).
+// Channels round to multiples of 8, as in the reference implementation.
+func MobileNetV2Scaled(width float64, o Options) *graph.Graph {
+	name := "mobilenet-v2"
+	if width != 1.0 {
+		name = fmt.Sprintf("mobilenet-v2-w%.2f", width)
+	}
+	res := resolution(o, 224)
+	b := newBuilder(name, o, res)
+	b.Conv(roundChannels(32, width), 3, 3, 2, 2, samePad(3), 1).Relu6()
+	// (expansion, channels, repeats, first-stride) per the paper's Table 2.
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	for _, st := range cfg {
+		for i := 0; i < st.n; i++ {
+			stride := st.s
+			if i > 0 {
+				stride = 1
+			}
+			invertedResidual(b, st.t, roundChannels(st.c, width), 3, stride)
+		}
+	}
+	head := 1280
+	if width > 1 {
+		head = roundChannels(1280, width)
+	}
+	b.PointwiseConv(head).Relu6()
+	b.GlobalAvgPool().Flatten().Gemm(1000).Softmax()
+	return b.MustFinish()
+}
+
+// MnasNet builds MnasNet-1.0 (Tan et al., platform-aware NAS), following
+// the torchvision mnasnet1_0 architecture: a separable-conv stem followed
+// by MBConv stacks with 3x3 and 5x5 depthwise kernels.
+func MnasNet(o Options) *graph.Graph {
+	return MnasNetScaled(1.0, o)
+}
+
+// MnasNetScaled builds MnasNet with a width multiplier (Fig 16 scaling).
+func MnasNetScaled(width float64, o Options) *graph.Graph {
+	name := "mnasnet-1.0"
+	if width != 1.0 {
+		name = fmt.Sprintf("mnasnet-w%.2f", width)
+	}
+	res := resolution(o, 224)
+	b := newBuilder(name, o, res)
+	b.Conv(roundChannels(32, width), 3, 3, 2, 2, samePad(3), 1).Relu()
+	// Separable stem: depthwise 3x3 + pointwise 16.
+	b.DepthwiseConv(3, 3, 1, 1, samePad(3)).Relu()
+	b.PointwiseConv(roundChannels(16, width))
+	// (expansion, channels, repeats, first-stride, kernel).
+	cfg := []struct{ t, c, n, s, k int }{
+		{3, 24, 3, 2, 3},
+		{3, 40, 3, 2, 5},
+		{6, 80, 3, 2, 5},
+		{6, 96, 2, 1, 3},
+		{6, 192, 4, 2, 5},
+		{6, 320, 1, 1, 3},
+	}
+	for _, st := range cfg {
+		for i := 0; i < st.n; i++ {
+			stride := st.s
+			if i > 0 {
+				stride = 1
+			}
+			invertedResidual(b, st.t, roundChannels(st.c, width), st.k, stride)
+		}
+	}
+	b.PointwiseConv(1280).Relu()
+	b.GlobalAvgPool().Flatten().Gemm(1000).Softmax()
+	return b.MustFinish()
+}

@@ -1,0 +1,101 @@
+// Package models builds the CNN and transformer model graphs evaluated in
+// the paper (§5): EfficientNet-B0 (plus the scaled B1–B6 variants used in
+// the model-size sensitivity study), MnasNet-1.0, MobileNetV2, ResNet50,
+// VGG16, a BERT-base encoder, and the artifact's Toy network. Layer shapes
+// follow the reference torchvision implementations with batch
+// normalization folded into the convolutions (inference graphs).
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"pimflow/internal/graph"
+)
+
+// Options controls model construction.
+type Options struct {
+	// Light builds shape-only weights (no initializer data); use for
+	// timing and compilation workloads. Full weights are only needed for
+	// functional execution.
+	Light bool
+	// Resolution overrides the input image resolution (default 224 for
+	// CNNs; EfficientNet variants pick their native resolution).
+	Resolution int
+	// SeqLen is the BERT input sequence length (default 64).
+	SeqLen int
+}
+
+// Builder constructs a model graph.
+type BuilderFunc func(Options) *graph.Graph
+
+var registry = map[string]BuilderFunc{
+	"toy":                Toy,
+	"efficientnet-v1-b0": EfficientNetB0,
+	"mobilenet-v2":       MobileNetV2,
+	"mnasnet-1.0":        MnasNet,
+	"squeezenet-1.1":     SqueezeNet,
+	"resnet-18":          ResNet18,
+	"resnet-34":          ResNet34,
+	"resnet-50":          ResNet50,
+	"vgg-16":             VGG16,
+	"bert-base":          BERT,
+}
+
+// Names returns the registered model names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs a registered model by name (the artifact's -n values).
+func Build(name string, opts Options) (*graph.Graph, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return f(opts), nil
+}
+
+// EvaluatedCNNs returns the five CNN models of the paper's main
+// evaluation, in the figure order.
+func EvaluatedCNNs() []string {
+	return []string{"efficientnet-v1-b0", "mnasnet-1.0", "mobilenet-v2", "resnet-50", "vgg-16"}
+}
+
+func resolution(o Options, def int) int {
+	if o.Resolution > 0 {
+		return o.Resolution
+	}
+	return def
+}
+
+func newBuilder(name string, o Options, res int) *graph.Builder {
+	b := graph.NewBuilder(name, 1, res, res, 3)
+	b.Light = o.Light
+	return b
+}
+
+// samePad returns symmetric "same" padding for odd kernel size k.
+func samePad(k int) [4]int {
+	p := (k - 1) / 2
+	return [4]int{p, p, p, p}
+}
+
+// Toy builds the artifact's small demonstration network: a regular conv, a
+// depthwise separable block, and a classifier — one of each PIM-relevant
+// layer kind.
+func Toy(o Options) *graph.Graph {
+	res := resolution(o, 32)
+	b := newBuilder("toy", o, res)
+	b.Conv(16, 3, 3, 1, 1, samePad(3), 1).Relu()
+	b.DepthwiseConv(3, 3, 1, 1, samePad(3)).Relu6()
+	b.PointwiseConv(32).Relu()
+	b.PointwiseConv(64).Relu()
+	b.GlobalAvgPool().Flatten().Gemm(10).Softmax()
+	return b.MustFinish()
+}

@@ -1,0 +1,43 @@
+package models
+
+import "pimflow/internal/graph"
+
+// fire appends a SqueezeNet fire module: a 1x1 squeeze followed by
+// parallel 1x1 and 3x3 expands whose outputs concatenate along channels —
+// a branch-and-join pattern that exercises the runtime's channel-concat
+// path (unlike the height-dimension concats the memory optimizer elides).
+func fire(b *graph.Builder, squeeze, expand int) {
+	b.PointwiseConv(squeeze).Relu()
+	squeezed := b.Cur()
+	b.PointwiseConv(expand).Relu()
+	left := b.Cur()
+	b.SetCur(squeezed)
+	b.Conv(expand, 3, 3, 1, 1, samePad(3), 1).Relu()
+	right := b.Cur()
+	b.SetCur(left)
+	b.Concat(3, right)
+}
+
+// SqueezeNet builds SqueezeNet 1.1 (Iandola et al.), an early compact CNN
+// built almost entirely from pointwise convolutions — an extreme
+// PIM-candidate-dense architecture included beyond the paper's suite.
+func SqueezeNet(o Options) *graph.Graph {
+	res := resolution(o, 224)
+	b := newBuilder("squeezenet-1.1", o, res)
+	b.Conv(64, 3, 3, 2, 2, [4]int{0, 0, 1, 1}, 1).Relu()
+	b.MaxPool(3, 2, [4]int{0, 0, 0, 0})
+	fire(b, 16, 64)
+	fire(b, 16, 64)
+	b.MaxPool(3, 2, [4]int{0, 0, 0, 0})
+	fire(b, 32, 128)
+	fire(b, 32, 128)
+	b.MaxPool(3, 2, [4]int{0, 0, 0, 0})
+	fire(b, 48, 192)
+	fire(b, 48, 192)
+	fire(b, 64, 256)
+	fire(b, 64, 256)
+	// Classifier: 1x1 conv to 1000 classes, then global average pooling.
+	b.PointwiseConv(1000).Relu()
+	b.GlobalAvgPool().Flatten().Softmax()
+	return b.MustFinish()
+}

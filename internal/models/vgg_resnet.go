@@ -1,0 +1,108 @@
+package models
+
+import "pimflow/internal/graph"
+
+// VGG16 builds the 16-layer VGG network (Simonyan & Zisserman): stacked
+// 3x3 convolutions with max pooling, followed by three large FC layers —
+// the paper's compute-heavy CNN with PIM-friendly FC tail.
+func VGG16(o Options) *graph.Graph {
+	res := resolution(o, 224)
+	b := newBuilder("vgg-16", o, res)
+	block := func(convs, ch int) {
+		for i := 0; i < convs; i++ {
+			b.Conv(ch, 3, 3, 1, 1, samePad(3), 1).Relu()
+		}
+		b.MaxPool(2, 2, [4]int{0, 0, 0, 0})
+	}
+	block(2, 64)
+	block(2, 128)
+	block(3, 256)
+	block(3, 512)
+	block(3, 512)
+	b.Flatten()
+	b.Gemm(4096).Relu()
+	b.Gemm(4096).Relu()
+	b.Gemm(1000).Softmax()
+	return b.MustFinish()
+}
+
+// resNetBasic builds the basic-block ResNets (18/34 layers): two 3x3
+// convolutions per block. Their 3x3 convs are not PIM-friendly, making
+// them useful contrast models for the preliminary analysis.
+func resNetBasic(name string, blocks [4]int, o Options) *graph.Graph {
+	res := resolution(o, 224)
+	b := newBuilder(name, o, res)
+	b.Conv(64, 7, 7, 2, 2, samePad(7), 1).Relu()
+	b.MaxPool(3, 2, [4]int{1, 1, 1, 1})
+	basic := func(out, stride int, project bool) {
+		shortcut := b.Cur()
+		if project {
+			b.Conv(out, 1, 1, stride, stride, [4]int{0, 0, 0, 0}, 1)
+			projected := b.Cur()
+			b.SetCur(shortcut)
+			shortcut = projected
+		}
+		b.Conv(out, 3, 3, stride, stride, samePad(3), 1).Relu()
+		b.Conv(out, 3, 3, 1, 1, samePad(3), 1)
+		b.Add(shortcut).Relu()
+	}
+	chans := [4]int{64, 128, 256, 512}
+	for si, n := range blocks {
+		stride := 2
+		if si == 0 {
+			stride = 1
+		}
+		basic(chans[si], stride, si != 0)
+		for i := 1; i < n; i++ {
+			basic(chans[si], 1, false)
+		}
+	}
+	b.GlobalAvgPool().Flatten().Gemm(1000).Softmax()
+	return b.MustFinish()
+}
+
+// ResNet18 builds the 18-layer basic-block residual network.
+func ResNet18(o Options) *graph.Graph {
+	return resNetBasic("resnet-18", [4]int{2, 2, 2, 2}, o)
+}
+
+// ResNet34 builds the 34-layer basic-block residual network.
+func ResNet34(o Options) *graph.Graph {
+	return resNetBasic("resnet-34", [4]int{3, 4, 6, 3}, o)
+}
+
+// ResNet50 builds the 50-layer residual network (He et al.): bottleneck
+// blocks of 1x1 / 3x3 / 1x1 convolutions. Its many pointwise convolutions
+// with deep channels are moderate-intensity PIM candidates.
+func ResNet50(o Options) *graph.Graph {
+	res := resolution(o, 224)
+	b := newBuilder("resnet-50", o, res)
+	b.Conv(64, 7, 7, 2, 2, samePad(7), 1).Relu()
+	b.MaxPool(3, 2, [4]int{1, 1, 1, 1})
+
+	bottleneck := func(mid, out, stride int, project bool) {
+		shortcut := b.Cur()
+		if project {
+			b.Conv(out, 1, 1, stride, stride, [4]int{0, 0, 0, 0}, 1)
+			projected := b.Cur()
+			b.SetCur(shortcut)
+			shortcut = projected
+		}
+		b.Conv(mid, 1, 1, 1, 1, [4]int{0, 0, 0, 0}, 1).Relu()
+		b.Conv(mid, 3, 3, stride, stride, samePad(3), 1).Relu()
+		b.Conv(out, 1, 1, 1, 1, [4]int{0, 0, 0, 0}, 1)
+		b.Add(shortcut).Relu()
+	}
+	stage := func(blocks, mid, out, stride int) {
+		bottleneck(mid, out, stride, true)
+		for i := 1; i < blocks; i++ {
+			bottleneck(mid, out, 1, false)
+		}
+	}
+	stage(3, 64, 256, 1)
+	stage(4, 128, 512, 2)
+	stage(6, 256, 1024, 2)
+	stage(3, 512, 2048, 2)
+	b.GlobalAvgPool().Flatten().Gemm(1000).Softmax()
+	return b.MustFinish()
+}

@@ -1,0 +1,114 @@
+// Package overhead implements the paper's §7 discussion analyses: the
+// area overhead of the PIM-enabled GPU memory extensions and the
+// memory-controller contention between GPU memory commands and PIM
+// command sequences.
+package overhead
+
+import (
+	"fmt"
+
+	"pimflow/internal/graph"
+	"pimflow/internal/pim"
+	"pimflow/internal/runtime"
+)
+
+// AreaParams holds the area model constants, CACTI-style. Defaults are
+// fitted to the paper's reported numbers: 0.33 mm^2 for the enlarged
+// global buffers (4 KB x 4 buffers x 16 channels of SRAM) and 1.53 mm^2
+// for the crossbar interconnect and long links of a 32-channel memory
+// network, totalling ~0.72% of the GPU die.
+type AreaParams struct {
+	// SRAMmm2PerKB is global-buffer SRAM density including periphery.
+	SRAMmm2PerKB float64
+	// CrossbarBasemm2 is the per-port-pair switch fabric coefficient: the
+	// crossbar area scales with the square of the port count.
+	CrossbarBasemm2 float64
+	// Linkmm2PerChannel is long-link wiring per channel.
+	Linkmm2PerChannel float64
+	// PIMLogicmm2PerBank is the MAC tree + latches after the BLSA,
+	// reported as 0.19 mm^2 per bank by the AiM paper (on the DRAM die,
+	// not the GPU die).
+	PIMLogicmm2PerBank float64
+	// GPUDiemm2 is the reference GPU die area.
+	GPUDiemm2 float64
+}
+
+// DefaultAreaParams returns constants fitted to the paper's §7 numbers.
+func DefaultAreaParams() AreaParams {
+	return AreaParams{
+		SRAMmm2PerKB:       0.33 / 256, // 256 KB of buffers -> 0.33 mm^2
+		CrossbarBasemm2:    1.0 / (32 * 32),
+		Linkmm2PerChannel:  0.53 / 32,
+		PIMLogicmm2PerBank: 0.19,
+		GPUDiemm2:          258,
+	}
+}
+
+// Area reports the area overhead of one PIM memory configuration.
+type Area struct {
+	GlobalBuffersmm2 float64
+	Crossbarmm2      float64
+	Linksmm2         float64
+	// GPUDieFraction is (buffers + crossbar + links) / GPU die: the
+	// GPU-side overhead the paper reports as ~0.72%.
+	GPUDieFraction float64
+	// PIMLogicmm2 is the per-DRAM-die MAC logic (context, not GPU-side).
+	PIMLogicmm2 float64
+}
+
+// EstimateArea computes the §7 area overheads for a PIM configuration
+// within a memory of totalChannels channels.
+func EstimateArea(cfg pim.Config, totalChannels int, p AreaParams) (Area, error) {
+	if err := cfg.Validate(); err != nil {
+		return Area{}, err
+	}
+	if totalChannels < cfg.Channels {
+		return Area{}, fmt.Errorf("overhead: %d total channels < %d PIM channels", totalChannels, cfg.Channels)
+	}
+	bufKB := float64(cfg.GlobalBufBytes) / 1024 * float64(cfg.GlobalBufs) * float64(cfg.Channels)
+	a := Area{
+		GlobalBuffersmm2: bufKB * p.SRAMmm2PerKB,
+		Crossbarmm2:      p.CrossbarBasemm2 * float64(totalChannels) * float64(totalChannels),
+		Linksmm2:         p.Linkmm2PerChannel * float64(totalChannels),
+		PIMLogicmm2:      p.PIMLogicmm2PerBank * float64(cfg.BanksPerChannel) * float64(cfg.Channels),
+	}
+	a.GPUDieFraction = (a.GlobalBuffersmm2 + a.Crossbarmm2 + a.Linksmm2) / p.GPUDiemm2
+	return a, nil
+}
+
+// Contention estimates the GPU slowdown caused by the shared memory
+// controller (§7): while a PIM channel reads activation data from GPU
+// channels (GWRITE traffic), the controller cannot accept GPU memory
+// commands. The paper simulated interleaved command streams and measured
+// 0.15% (MBNetV2) to 0.22% (ResNet50); this estimate charges each GWRITE
+// burst one stolen GPU-channel slot, spread over the GPU channels, and
+// reports the resulting end-to-end slowdown fraction.
+func Contention(rep *runtime.Report, cfg runtime.Config) (float64, error) {
+	if rep == nil {
+		return 0, fmt.Errorf("overhead: nil report")
+	}
+	if rep.TotalCycles == 0 {
+		return 0, nil
+	}
+	var gwBursts, gpuBytes int64
+	for _, n := range rep.Nodes {
+		if n.Device == graph.DevicePIM {
+			gwBursts += n.PIMCounts.GWBursts
+		} else {
+			gpuBytes += n.DRAMBytes
+		}
+	}
+	stolen := float64(gwBursts*int64(cfg.PIM.Timing.TBL)) / float64(cfg.GPU.MemChannels)
+	// A stolen slot only delays the GPU when (a) a GPU kernel is running
+	// and (b) it would actually have issued a memory command in that slot,
+	// i.e. proportionally to the GPU's achieved bandwidth utilization.
+	busyFrac := float64(rep.GPUBusy) / float64(rep.TotalCycles)
+	memUtil := 0.0
+	if rep.GPUBusy > 0 {
+		memUtil = float64(gpuBytes) / (cfg.GPU.BandwidthBytesPerCycle() * float64(rep.GPUBusy))
+		if memUtil > 1 {
+			memUtil = 1
+		}
+	}
+	return stolen * busyFrac * memUtil / float64(rep.TotalCycles), nil
+}

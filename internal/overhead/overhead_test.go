@@ -1,0 +1,100 @@
+package overhead
+
+import (
+	"math"
+	"testing"
+
+	"pimflow/internal/models"
+	"pimflow/internal/pim"
+	"pimflow/internal/runtime"
+	"pimflow/internal/search"
+)
+
+func TestEstimateAreaMatchesPaper(t *testing.T) {
+	a, err := EstimateArea(pim.DefaultConfig(), 32, DefaultAreaParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.GlobalBuffersmm2-0.33) > 0.01 {
+		t.Errorf("global buffers %.3f mm^2, paper reports 0.33", a.GlobalBuffersmm2)
+	}
+	if math.Abs(a.Crossbarmm2+a.Linksmm2-1.53) > 0.02 {
+		t.Errorf("crossbar+links %.3f mm^2, paper reports 1.53", a.Crossbarmm2+a.Linksmm2)
+	}
+	if a.GPUDieFraction < 0.005 || a.GPUDieFraction > 0.01 {
+		t.Errorf("die fraction %.4f, paper reports ~0.72%%", a.GPUDieFraction)
+	}
+	// AiM's per-bank logic: 0.19 mm^2 x 16 banks x 16 channels.
+	if math.Abs(a.PIMLogicmm2-0.19*256) > 1e-9 {
+		t.Errorf("PIM logic %.2f mm^2", a.PIMLogicmm2)
+	}
+}
+
+func TestEstimateAreaScalesWithChannels(t *testing.T) {
+	p := DefaultAreaParams()
+	small := pim.DefaultConfig()
+	small.Channels = 8
+	a8, err := EstimateArea(small, 32, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a16, err := EstimateArea(pim.DefaultConfig(), 32, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a8.GlobalBuffersmm2 >= a16.GlobalBuffersmm2 {
+		t.Error("buffer area not increasing with channels")
+	}
+	if a8.Crossbarmm2 != a16.Crossbarmm2 {
+		t.Error("crossbar should depend on total channels only")
+	}
+}
+
+func TestEstimateAreaErrors(t *testing.T) {
+	bad := pim.DefaultConfig()
+	bad.Channels = 0
+	if _, err := EstimateArea(bad, 32, DefaultAreaParams()); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := EstimateArea(pim.DefaultConfig(), 8, DefaultAreaParams()); err == nil {
+		t.Error("total < PIM channels accepted")
+	}
+}
+
+// The contention estimate must land in the sub-percent regime the paper
+// measured (0.15-0.22%).
+func TestContentionIsNegligible(t *testing.T) {
+	for _, m := range []string{"mobilenet-v2", "resnet-50"} {
+		g, err := models.Build(m, models.Options{Light: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := search.DefaultOptions(search.PolicyPIMFlow)
+		xg, _, err := search.Compile(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := opts.RuntimeConfig()
+		rep, err := runtime.Execute(xg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Contention(rep, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < 0 || c > 0.03 {
+			t.Errorf("%s: contention %.4f outside the negligible regime", m, c)
+		}
+	}
+}
+
+func TestContentionNilAndEmpty(t *testing.T) {
+	if _, err := Contention(nil, runtime.DefaultConfig()); err == nil {
+		t.Error("nil report accepted")
+	}
+	c, err := Contention(&runtime.Report{}, runtime.DefaultConfig())
+	if err != nil || c != 0 {
+		t.Errorf("empty report: %v %v", c, err)
+	}
+}

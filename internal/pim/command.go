@@ -1,0 +1,141 @@
+package pim
+
+import "fmt"
+
+// Kind identifies a PIM command (paper §4.1). GWRITE moves activation data
+// into a global buffer, G_ACT activates a weight row across banks, COMP
+// streams column I/Os through the per-bank MAC trees, and READRES drains
+// the result latches.
+type Kind uint8
+
+const (
+	// KindGWrite pushes input data into one global buffer.
+	KindGWrite Kind = iota
+	// KindGWrite2 fills two global buffers with a single command.
+	KindGWrite2
+	// KindGWrite4 fills four global buffers with a single command.
+	KindGWrite4
+	// KindGWriteStrided gathers non-contiguous segments in one command
+	// (the §4.1 strided GWRITE extension).
+	KindGWriteStrided
+	// KindGAct activates one weight row in all banks of a channel.
+	KindGAct
+	// KindComp streams column I/Os through the MAC units.
+	KindComp
+	// KindReadRes reads accumulated results out of the result latches.
+	KindReadRes
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGWrite:
+		return "GWRITE"
+	case KindGWrite2:
+		return "GWRITE_2"
+	case KindGWrite4:
+		return "GWRITE_4"
+	case KindGWriteStrided:
+		return "GWRITE_S"
+	case KindGAct:
+		return "G_ACT"
+	case KindComp:
+		return "COMP"
+	case KindReadRes:
+		return "READRES"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsGWrite reports whether the kind is any GWRITE variant.
+func (k Kind) IsGWrite() bool {
+	return k == KindGWrite || k == KindGWrite2 || k == KindGWrite4 || k == KindGWriteStrided
+}
+
+// Command is one PIM command in a channel's trace. Consecutive identical
+// operations are aggregated: a COMP command carries the number of column
+// I/Os it streams back-to-back.
+type Command struct {
+	Kind Kind
+	// Bursts is the number of 32-byte data bursts moved (GWRITE variants
+	// and READRES).
+	Bursts int
+	// Cols is the number of column I/Os streamed by a COMP command.
+	Cols int
+	// NewRow marks a G_ACT that targets a row different from the one
+	// currently open, requiring a precharge first.
+	NewRow bool
+}
+
+// ChannelTrace is the ordered command stream of one PIM channel.
+type ChannelTrace struct {
+	Channel  int
+	Commands []Command
+}
+
+// Trace is a complete PIM kernel: one command stream per participating
+// channel. Channels execute independently and in parallel; the kernel
+// completes when the slowest channel drains.
+type Trace struct {
+	Channels []ChannelTrace
+}
+
+// TotalCommands returns the number of commands across all channels.
+func (t *Trace) TotalCommands() int {
+	n := 0
+	for _, ch := range t.Channels {
+		n += len(ch.Commands)
+	}
+	return n
+}
+
+// Counts aggregates per-kind command counts across all channels, with
+// COMP expanded to column I/O count and GWRITE/READRES to burst count.
+type Counts struct {
+	GWrites  int64 // GWRITE commands (all variants)
+	GActs    int64
+	Comps    int64 // COMP commands
+	ReadRes  int64
+	ColIOs   int64 // total column I/Os streamed
+	GWBursts int64 // total GWRITE data bursts
+	RRBursts int64 // total READRES data bursts
+	NewRows  int64 // activations that required a precharge
+	MACs     int64 // derived: ColIOs * banks * mults (filled by Stats)
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.GWrites += other.GWrites
+	c.GActs += other.GActs
+	c.Comps += other.Comps
+	c.ReadRes += other.ReadRes
+	c.ColIOs += other.ColIOs
+	c.GWBursts += other.GWBursts
+	c.RRBursts += other.RRBursts
+	c.NewRows += other.NewRows
+	c.MACs += other.MACs
+}
+
+// CountOf tallies the commands in one channel trace.
+func CountOf(ct ChannelTrace) Counts {
+	var c Counts
+	for _, cmd := range ct.Commands {
+		switch {
+		case cmd.Kind.IsGWrite():
+			c.GWrites++
+			c.GWBursts += int64(cmd.Bursts)
+		case cmd.Kind == KindGAct:
+			c.GActs++
+			if cmd.NewRow {
+				c.NewRows++
+			}
+		case cmd.Kind == KindComp:
+			c.Comps++
+			c.ColIOs += int64(cmd.Cols)
+		case cmd.Kind == KindReadRes:
+			c.ReadRes++
+			c.RRBursts += int64(cmd.Bursts)
+		}
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+package pim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes a human-readable command trace listing, one channel per
+// section — the equivalent of the paper artifact's generated PIM command
+// trace files that the Ramulator-based simulator consumed.
+func (t *Trace) Dump(w io.Writer) error {
+	for _, ch := range t.Channels {
+		if _, err := fmt.Fprintf(w, "channel %d: %d commands\n", ch.Channel, len(ch.Commands)); err != nil {
+			return err
+		}
+		for i, cmd := range ch.Commands {
+			var detail string
+			switch {
+			case cmd.Kind.IsGWrite():
+				detail = fmt.Sprintf("bursts=%d", cmd.Bursts)
+			case cmd.Kind == KindGAct:
+				detail = fmt.Sprintf("new_row=%v", cmd.NewRow)
+			case cmd.Kind == KindComp:
+				detail = fmt.Sprintf("cols=%d", cmd.Cols)
+			case cmd.Kind == KindReadRes:
+				detail = fmt.Sprintf("bursts=%d", cmd.Bursts)
+			}
+			if _, err := fmt.Fprintf(w, "  %6d %-9s %s\n", i, cmd.Kind, detail); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants of a trace that any correct
+// command generator must uphold:
+//
+//   - every COMP is preceded by at least one G_ACT (a row must be open)
+//     and at least one GWRITE (the buffer must hold data) on its channel;
+//   - COMP column counts never exceed the column I/Os one activation
+//     exposes times the number of global buffers in flight;
+//   - no channel index repeats and all are within the configuration.
+func (t *Trace) Validate(cfg Config) error {
+	if len(t.Channels) == 0 {
+		return fmt.Errorf("pim: empty trace")
+	}
+	seen := map[int]bool{}
+	for _, ch := range t.Channels {
+		if ch.Channel < 0 || ch.Channel >= cfg.Channels {
+			return fmt.Errorf("pim: channel %d outside config (%d channels)", ch.Channel, cfg.Channels)
+		}
+		if seen[ch.Channel] {
+			return fmt.Errorf("pim: duplicate channel %d", ch.Channel)
+		}
+		seen[ch.Channel] = true
+		rowOpen, bufLoaded := false, false
+		for i, cmd := range ch.Commands {
+			switch {
+			case cmd.Kind.IsGWrite():
+				if cmd.Bursts <= 0 {
+					return fmt.Errorf("pim: channel %d cmd %d: GWRITE with %d bursts", ch.Channel, i, cmd.Bursts)
+				}
+				bufLoaded = true
+			case cmd.Kind == KindGAct:
+				rowOpen = true
+			case cmd.Kind == KindComp:
+				if !rowOpen {
+					return fmt.Errorf("pim: channel %d cmd %d: COMP before any G_ACT", ch.Channel, i)
+				}
+				if !bufLoaded {
+					return fmt.Errorf("pim: channel %d cmd %d: COMP before any GWRITE", ch.Channel, i)
+				}
+				if cmd.Cols <= 0 || cmd.Cols > cfg.ColumnIOsPerRow {
+					return fmt.Errorf("pim: channel %d cmd %d: COMP cols %d outside (0,%d]",
+						ch.Channel, i, cmd.Cols, cfg.ColumnIOsPerRow)
+				}
+			case cmd.Kind == KindReadRes:
+				if cmd.Bursts <= 0 {
+					return fmt.Errorf("pim: channel %d cmd %d: READRES with %d bursts", ch.Channel, i, cmd.Bursts)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Summary returns a one-line description of the trace.
+func (t *Trace) Summary() string {
+	var c Counts
+	for _, ch := range t.Channels {
+		c.Add(CountOf(ch))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d channels, %d commands: %d GWRITE (%d bursts), %d G_ACT, %d COMP (%d colIOs), %d READRES",
+		len(t.Channels), t.TotalCommands(), c.GWrites, c.GWBursts, c.GActs, c.Comps, c.ColIOs, c.ReadRes)
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package pim
+
+import "fmt"
+
+// Stats is the result of simulating a PIM kernel trace.
+type Stats struct {
+	// Cycles is the kernel makespan: the slowest channel's drain time.
+	Cycles int64
+	// PerChannel holds each participating channel's drain time.
+	PerChannel []int64
+	// Counts aggregates command counts across channels.
+	Counts Counts
+	// Seconds is Cycles converted through the configured clock.
+	Seconds float64
+	// BusyFraction is the mean per-channel MAC-pipeline busy fraction,
+	// a PIM utilization measure.
+	BusyFraction float64
+}
+
+// channelState tracks one channel's in-order command queue timing.
+type channelState struct {
+	t            int64 // next command issue cycle
+	busInFreeAt  int64 // inbound data path (GWRITE bursts from GPU channels)
+	busOutFreeAt int64 // outbound data path (READRES bursts to GPU channels)
+	rowReadyAt   int64 // row activation completion
+	rowOpenAt    int64 // when the current row was opened (tRAS)
+	rowOpen      bool
+	bufReadyAt   int64 // global buffer data availability
+	lastCompAt   int64 // start of the most recent COMP (prefetch window)
+	compFreeAt   int64 // MAC pipeline drain
+	compBusy     int64 // cycles the MAC pipeline was streaming
+}
+
+// Simulate executes the trace against the configuration and returns timing
+// statistics. Channels are independent; within a channel, commands issue
+// in order with the following semantics (paper §2.1, §4.1):
+//
+//   - GWRITE occupies the channel data path for Bursts×tBL cycles and makes
+//     the global buffer ready when the transfer completes. Without GWRITE
+//     latency hiding the command queue blocks until then; with hiding
+//     (PIMFlow's extension) the next command — typically G_ACT — issues in
+//     the next cycle, because activation data is fetched from GPU channels
+//     while PIM channels activate rows.
+//   - G_ACT readies a row after tRCD (plus tRP, respecting tRAS, when a
+//     different row is open).
+//   - COMP waits for the row, the buffer, and the MAC pipeline, then
+//     streams Cols column I/Os at one per tCCDL.
+//   - READRES drains the result latches after the pipeline: tCL + bursts.
+func Simulate(cfg Config, tr *Trace) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if len(tr.Channels) == 0 {
+		return Stats{}, fmt.Errorf("pim: empty trace")
+	}
+	if len(tr.Channels) > cfg.Channels {
+		return Stats{}, fmt.Errorf("pim: trace uses %d channels, config has %d", len(tr.Channels), cfg.Channels)
+	}
+	tm := cfg.Timing
+	stats := Stats{PerChannel: make([]int64, len(tr.Channels))}
+	var busySum float64
+	for i, ch := range tr.Channels {
+		var s channelState
+		for _, cmd := range ch.Commands {
+			switch {
+			case cmd.Kind.IsGWrite():
+				if cmd.Bursts < 0 {
+					return Stats{}, fmt.Errorf("pim: negative bursts on channel %d", ch.Channel)
+				}
+				var start int64
+				if cfg.GWriteLatencyHiding {
+					// Asynchronous issue (§4.1): the controller queues the
+					// transfer with one-deep prefetch — it streams in from
+					// GPU channels once computation on the previous buffer
+					// set has begun, overlapping transfer with COMP/G_ACT.
+					start = max64(s.busInFreeAt, s.lastCompAt)
+				} else {
+					start = max64(s.t, max64(s.busInFreeAt, s.busOutFreeAt))
+				}
+				if cfg.GlobalBufs == 1 {
+					// A single buffer cannot be refilled while COMPs are
+					// still consuming it; multiple buffers double-buffer.
+					start = max64(start, s.compFreeAt)
+				}
+				done := start + int64(cmd.Bursts)*int64(tm.TBL)
+				s.busInFreeAt = done
+				s.bufReadyAt = done
+				if cfg.GWriteLatencyHiding {
+					// The queue moves on so the following G_ACT overlaps
+					// the in-flight transfer.
+					s.t = max64(s.t, start) + 1
+				} else {
+					s.t = done
+				}
+			case cmd.Kind == KindGAct:
+				// Banks cannot activate a new row while the MAC pipeline
+				// streams column I/Os from the open one — unless bank
+				// ping-pong is enabled, in which case the activation lands
+				// in the other bank group and overlaps the COMP stream.
+				start := max64(s.t, s.compFreeAt)
+				if cfg.BankPingPong {
+					start = s.t
+				}
+				if cmd.NewRow && s.rowOpen {
+					// Precharge the open row first, honoring tRAS.
+					pre := max64(start, s.rowOpenAt+int64(tm.TRAS))
+					s.rowReadyAt = pre + int64(tm.TRP) + int64(tm.TRCD)
+					start = pre
+				} else {
+					s.rowReadyAt = start + int64(tm.TRCD)
+				}
+				s.rowOpenAt = s.rowReadyAt
+				s.rowOpen = true
+				s.t = start + 1
+			case cmd.Kind == KindComp:
+				if cmd.Cols <= 0 {
+					return Stats{}, fmt.Errorf("pim: COMP with %d cols on channel %d", cmd.Cols, ch.Channel)
+				}
+				start := max64(max64(s.t, s.rowReadyAt), max64(s.bufReadyAt, s.compFreeAt))
+				dur := int64(cmd.Cols) * int64(tm.TCCDL)
+				s.lastCompAt = start
+				s.compFreeAt = start + dur
+				s.compBusy += dur
+				// Issue is pipelined: the queue advances so a following
+				// GWRITE can stream the next buffer during the COMPs.
+				s.t = start + 1
+			case cmd.Kind == KindReadRes:
+				// Result latches must be stable: drain after the pipeline,
+				// and block the queue (no latch double-buffering). Results
+				// leave on the outbound path toward GPU channels.
+				start := max64(max64(s.t, s.compFreeAt), s.busOutFreeAt)
+				done := start + int64(tm.TCL) + int64(cmd.Bursts)*int64(tm.TBL)
+				s.busOutFreeAt = done
+				s.t = done
+			default:
+				return Stats{}, fmt.Errorf("pim: unknown command kind %d", cmd.Kind)
+			}
+		}
+		drain := max64(max64(s.t, max64(s.busInFreeAt, s.busOutFreeAt)), s.compFreeAt)
+		if cfg.ModelRefresh && cfg.Timing.TREFI > 0 {
+			// All-bank refresh steals tRFC every tREFI: stretch the drain
+			// time by the refresh duty cycle (kernels are short relative
+			// to tREFI, so the amortized model matches interleaving).
+			duty := float64(cfg.Timing.TRFC) / float64(cfg.Timing.TREFI-cfg.Timing.TRFC)
+			drain += int64(float64(drain) * duty)
+		}
+		stats.PerChannel[i] = drain
+		if drain > stats.Cycles {
+			stats.Cycles = drain
+		}
+		if drain > 0 {
+			busySum += float64(s.compBusy) / float64(drain)
+		}
+		stats.Counts.Add(CountOf(ch))
+	}
+	stats.BusyFraction = busySum / float64(len(tr.Channels))
+	stats.Counts.MACs = stats.Counts.ColIOs * int64(cfg.BanksPerChannel) * int64(cfg.MultsPerBank)
+	stats.Seconds = cfg.CyclesToSeconds(stats.Cycles)
+	return stats, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,64 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"pimflow/internal/graph"
+)
+
+// RenderGantt draws a compact two-track ASCII timeline of the schedule:
+// one row per device, `width` character cells spanning the makespan. A
+// cell shows '#' when the device is busy for the majority of its span,
+// '+' when partially busy, and '.' when idle — enough to see MD-DP
+// overlap and pipeline interleaving at a glance in a terminal.
+func (r *Report) RenderGantt(width int) string {
+	if r == nil || r.TotalCycles == 0 || width < 10 {
+		return ""
+	}
+	busy := map[graph.Device][]int64{
+		graph.DeviceGPU: make([]int64, width),
+		graph.DevicePIM: make([]int64, width),
+	}
+	cellCycles := float64(r.TotalCycles) / float64(width)
+	for _, n := range r.Nodes {
+		if n.Elided || n.Duration() == 0 {
+			continue
+		}
+		track := busy[n.Device]
+		first := int(float64(n.Start) / cellCycles)
+		last := int(float64(n.End-1) / cellCycles)
+		for c := first; c <= last && c < width; c++ {
+			cellStart := int64(float64(c) * cellCycles)
+			cellEnd := int64(float64(c+1) * cellCycles)
+			s, e := n.Start, n.End
+			if s < cellStart {
+				s = cellStart
+			}
+			if e > cellEnd {
+				e = cellEnd
+			}
+			if e > s {
+				track[c] += e - s
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule: %d cycles (one cell = %.0f cycles)\n", r.TotalCycles, cellCycles)
+	for _, dev := range []graph.Device{graph.DeviceGPU, graph.DevicePIM} {
+		fmt.Fprintf(&b, "%-4s |", dev)
+		for _, occupied := range busy[dev] {
+			frac := float64(occupied) / cellCycles
+			switch {
+			case frac > 0.5:
+				b.WriteByte('#')
+			case frac > 0:
+				b.WriteByte('+')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,262 @@
+// Package runtime implements PIMFlow's mixed-parallel execution engine
+// (paper §4.2, §4.3.1): a transformed model graph is scheduled onto two
+// in-order device queues — the GPU stream and the PIM command processor —
+// honoring data dependencies. MD-DP halves and pipeline stages overlap
+// naturally: the scheduler starts a node as soon as its producers finished
+// and its device queue is free, so a GPU half runs while the PIM half of
+// the same split node executes, and pipeline chunk j of a downstream node
+// overlaps chunk j+1 of its upstream node on the other device.
+//
+// Cross-device data movement between the GPU and PIM channel groups
+// travels the memory network (paper Fig 4). PIM-bound input traffic is
+// already part of the PIM command trace (GWRITE bursts), so the runtime
+// charges the interconnect only for PIM-produced tensors consumed by GPU
+// kernels, plus a fixed synchronization latency per cross-device edge.
+// Memory-controller contention was measured negligible in the paper
+// (0.15-0.22%, §7) and is not modeled.
+package runtime
+
+import (
+	"fmt"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/gpu"
+	"pimflow/internal/graph"
+	"pimflow/internal/pim"
+)
+
+// Config describes the simulated heterogeneous system.
+type Config struct {
+	// GPU is the GPU model; its MemChannels must already reflect the
+	// GPU-visible share of the memory (32 in GPU-only mode, 32 minus PIM
+	// channels in PIM mode).
+	GPU gpu.Config
+	// PIM is the PIM-enabled channel group.
+	PIM pim.Config
+	// Codegen selects PIM command generation options.
+	Codegen codegen.Opts
+	// InterconnectBytesPerCycle is the memory-network bandwidth between
+	// channel groups used for PIM->GPU result movement.
+	InterconnectBytesPerCycle float64
+	// SyncOverheadCycles is charged once per cross-device dependency edge.
+	SyncOverheadCycles int64
+}
+
+// DefaultConfig returns the paper's 16+16 channel PIM-enabled GPU memory
+// with the full PIMFlow feature set.
+func DefaultConfig() Config {
+	return Config{
+		GPU:                       gpu.DefaultConfig().WithChannels(16),
+		PIM:                       pim.DefaultConfig(),
+		Codegen:                   codegen.DefaultOpts(),
+		InterconnectBytesPerCycle: 256,
+		SyncOverheadCycles:        200,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.GPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.PIM.Validate(); err != nil {
+		return err
+	}
+	if c.InterconnectBytesPerCycle <= 0 {
+		return fmt.Errorf("runtime: non-positive interconnect bandwidth")
+	}
+	if c.SyncOverheadCycles < 0 {
+		return fmt.Errorf("runtime: negative sync overhead")
+	}
+	return nil
+}
+
+// NodeReport records one node's simulated execution.
+type NodeReport struct {
+	Name   string
+	Op     graph.OpType
+	Device graph.Device
+	Mode   graph.ExecMode
+	// Start and End are cycle timestamps; Elided nodes have Start == End.
+	Start, End int64
+	Elided     bool
+	// FLOPs and DRAMBytes describe the work (GPU nodes).
+	FLOPs     int64
+	DRAMBytes int64
+	// PIMCounts holds command statistics for PIM nodes.
+	PIMCounts pim.Counts
+	// MoveCycles is cross-device data-movement latency charged before the
+	// node started.
+	MoveCycles int64
+}
+
+// Duration returns the node's busy time.
+func (r NodeReport) Duration() int64 { return r.End - r.Start }
+
+// Report is the result of executing a graph.
+type Report struct {
+	TotalCycles int64
+	Seconds     float64
+	Nodes       []NodeReport
+	// GPUBusy and PIMBusy are summed busy cycles per device.
+	GPUBusy, PIMBusy int64
+	// MoveCycles is total cross-device data-movement time.
+	MoveCycles int64
+}
+
+// NodeByName returns the report entry for a node, or nil.
+func (r *Report) NodeByName(name string) *NodeReport {
+	for i := range r.Nodes {
+		if r.Nodes[i].Name == name {
+			return &r.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// zeroCostOps complete instantly: reshapes and pass-throughs that real
+// frameworks fold away.
+func zeroCost(n *graph.Node) bool {
+	switch n.Op {
+	case graph.OpFlatten, graph.OpIdentity:
+		return true
+	}
+	return n.Attrs.Int("elided", 0) == 1
+}
+
+// fusableActivation reports whether the op is a unary activation that the
+// GPU back-end fuses into a preceding convolution or FC kernel epilogue
+// (the TVM/cuDNN mapping the paper builds on fuses these).
+func fusableActivation(op graph.OpType) bool {
+	switch op {
+	case graph.OpRelu, graph.OpClip, graph.OpSigmoid, graph.OpSiLU, graph.OpGelu:
+		return true
+	}
+	return false
+}
+
+// Execute schedules the graph and returns the timing report.
+func Execute(g *graph.Graph, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	// Ensure shapes are available.
+	for _, n := range order {
+		ti := g.Tensors[n.Outputs[0]]
+		if ti == nil || !ti.Shape.Valid() {
+			if err := g.InferShapes(); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+
+	producerOf := map[string]*graph.Node{}
+	for _, n := range g.Nodes {
+		for _, out := range n.Outputs {
+			producerOf[out] = n
+		}
+	}
+	finish := map[*graph.Node]int64{}
+	deviceOf := map[*graph.Node]graph.Device{}
+	var gpuFree, pimFree int64
+	rep := &Report{}
+
+	for _, n := range order {
+		dev := n.Exec.Device
+		if dev == graph.DevicePIM && !g.IsPIMCandidate(n) {
+			return nil, fmt.Errorf("runtime: node %q (%s) annotated for PIM but not offloadable", n.Name, n.Op)
+		}
+		// Ready time: producers plus cross-device movement.
+		var ready, moveCycles int64
+		for _, in := range n.Inputs {
+			p, ok := producerOf[in]
+			if !ok {
+				continue // graph input or weight
+			}
+			t := finish[p]
+			// Elided producers/consumers never moved data, so the edge is
+			// not a real cross-device transfer.
+			if deviceOf[p] != dev && !zeroCost(n) && !zeroCost(p) {
+				move := cfg.SyncOverheadCycles
+				if deviceOf[p] == graph.DevicePIM && dev == graph.DeviceGPU {
+					// PIM results travel the memory network to GPU
+					// channels (Fig 4, step 4).
+					bytes := int64(g.Tensors[in].Shape.Elems()) * 2
+					move += int64(float64(bytes) / cfg.InterconnectBytesPerCycle)
+				}
+				t += move
+				moveCycles += move
+			}
+			if t > ready {
+				ready = t
+			}
+		}
+
+		// Unary activations following a conv/FC with no other consumer are
+		// free: GPU kernels fuse them into the producer's epilogue and the
+		// PIM device applies activation functions on readout (AiM-style).
+		// Elided concat/slice producers are looked through, so MD-DP split
+		// layers keep their activation fused.
+		fused := false
+		if fusableActivation(n.Op) && len(n.Inputs) == 1 {
+			p := producerOf[n.Inputs[0]]
+			for p != nil && zeroCost(p) && len(p.Inputs) > 0 {
+				p = producerOf[p.Inputs[0]]
+			}
+			if p != nil && (p.Op == graph.OpConv || p.Op == graph.OpGemm) &&
+				len(g.Consumers(n.Inputs[0])) == 1 {
+				fused = true
+			}
+		}
+
+		var start, end int64
+		nr := NodeReport{Name: n.Name, Op: n.Op, Device: dev, Mode: n.Exec.Mode, MoveCycles: moveCycles}
+		if zeroCost(n) || fused {
+			start, end = ready, ready
+			nr.Elided = true
+		} else if dev == graph.DevicePIM {
+			st, err := codegen.TimeNode(g, n, cfg.PIM, cfg.Codegen)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: PIM node %q: %w", n.Name, err)
+			}
+			start = max64(ready, pimFree)
+			end = start + st.Cycles
+			pimFree = end
+			rep.PIMBusy += st.Cycles
+			nr.PIMCounts = st.Counts
+		} else {
+			res, err := gpu.TimeNode(g, n, cfg.GPU)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: GPU node %q: %w", n.Name, err)
+			}
+			start = max64(ready, gpuFree)
+			end = start + res.Cycles
+			gpuFree = end
+			rep.GPUBusy += res.Cycles
+			nr.FLOPs = res.FLOPs
+			nr.DRAMBytes = res.DRAMBytes
+		}
+		nr.Start, nr.End = start, end
+		finish[n] = end
+		deviceOf[n] = dev
+		rep.MoveCycles += moveCycles
+		rep.Nodes = append(rep.Nodes, nr)
+		if end > rep.TotalCycles {
+			rep.TotalCycles = end
+		}
+	}
+	rep.Seconds = float64(rep.TotalCycles) / (cfg.GPU.ClockGHz * 1e9)
+	return rep, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,278 @@
+package runtime
+
+import (
+	"testing"
+
+	"pimflow/internal/graph"
+	"pimflow/internal/models"
+	"pimflow/internal/transform"
+)
+
+func pointwiseGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("pw", 1, 14, 14, 576)
+	b.Light = true
+	g, err := b.PointwiseConv(160).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExecuteBaselineGPU(t *testing.T) {
+	g := pointwiseGraph(t)
+	rep, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles <= 0 || rep.GPUBusy <= 0 || rep.PIMBusy != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if len(rep.Nodes) != 1 {
+		t.Fatalf("%d node reports", len(rep.Nodes))
+	}
+	if rep.Nodes[0].Device != graph.DeviceGPU {
+		t.Fatal("default device not GPU")
+	}
+}
+
+func TestExecuteSerialPIMOffload(t *testing.T) {
+	g := pointwiseGraph(t)
+	g.Nodes[0].Exec = graph.ExecHint{Mode: graph.ModeSerial, Device: graph.DevicePIM}
+	rep, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PIMBusy <= 0 || rep.GPUBusy != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.Nodes[0].PIMCounts.ColIOs == 0 {
+		t.Fatal("no PIM commands recorded")
+	}
+}
+
+// An MD-DP split node's halves must overlap: the schedule should finish in
+// roughly max(halves), well under their sum.
+func TestExecuteMDDPOverlaps(t *testing.T) {
+	g := pointwiseGraph(t)
+	conv := g.Nodes[0].Name
+	if err := transform.SplitMDDP(g, conv, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	transform.ElideDataMovement(g)
+	rep, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpuHalf, pimHalf *NodeReport
+	for i := range rep.Nodes {
+		switch rep.Nodes[i].Name {
+		case conv + "_gpu":
+			gpuHalf = &rep.Nodes[i]
+		case conv + "_pim":
+			pimHalf = &rep.Nodes[i]
+		}
+	}
+	if gpuHalf == nil || pimHalf == nil {
+		t.Fatal("missing halves")
+	}
+	// Both halves start at the same ready time (their slices are elided),
+	// so their intervals must overlap.
+	if gpuHalf.End <= pimHalf.Start && pimHalf.End <= gpuHalf.Start {
+		t.Fatalf("halves did not overlap: gpu [%d,%d) pim [%d,%d)",
+			gpuHalf.Start, gpuHalf.End, pimHalf.Start, pimHalf.End)
+	}
+	sum := gpuHalf.Duration() + pimHalf.Duration()
+	if rep.TotalCycles >= sum {
+		t.Fatalf("no parallelism: total %d >= sum %d", rep.TotalCycles, sum)
+	}
+}
+
+// MD-DP with a good ratio must beat both the GPU-only and the PIM-only
+// execution of the same layer. This uses a GPU-favored pointwise conv
+// (56x56, shallow K): offloading a 10% tail to PIM shortens the critical
+// path below either serial alternative.
+func TestExecuteMDDPBeatsSerial(t *testing.T) {
+	mk := func() *graph.Graph {
+		b := graph.NewBuilder("pw56", 1, 56, 56, 64)
+		b.Light = true
+		g, err := b.PointwiseConv(256).Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	cfg := DefaultConfig()
+
+	gSerial := mk()
+	repGPU, err := Execute(gSerial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gPIM := mk()
+	gPIM.Nodes[0].Exec = graph.ExecHint{Device: graph.DevicePIM}
+	repPIM, err := Execute(gPIM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSplit := mk()
+	// GPU is much faster for this layer; offload a small tail to PIM.
+	if err := transform.SplitMDDP(gSplit, gSplit.Nodes[0].Name, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	transform.ElideDataMovement(gSplit)
+	repSplit, err := Execute(gSplit, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSplit.TotalCycles >= repGPU.TotalCycles || repSplit.TotalCycles >= repPIM.TotalCycles {
+		t.Fatalf("split %d not better than GPU %d / PIM %d",
+			repSplit.TotalCycles, repGPU.TotalCycles, repPIM.TotalCycles)
+	}
+}
+
+// Pipelined chains must overlap PIM and GPU stages and beat the same
+// chain executed serially with the same placement.
+func TestExecutePipelineOverlaps(t *testing.T) {
+	build := func() *graph.Graph {
+		b := graph.NewBuilder("chain", 1, 28, 28, 192)
+		b.Light = true
+		b.PointwiseConv(64)
+		b.DepthwiseConv(3, 3, 1, 1, [4]int{1, 1, 1, 1})
+		g, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	cfg := DefaultConfig()
+	serial := build()
+	serial.Nodes[0].Exec = graph.ExecHint{Device: graph.DevicePIM}
+	repSerial, err := Execute(serial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped := build()
+	var names []string
+	for _, n := range piped.Nodes {
+		names = append(names, n.Name)
+	}
+	if err := transform.PipelineChain(piped, names, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	transform.ElideDataMovement(piped)
+	repPiped, err := Execute(piped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repPiped.TotalCycles >= repSerial.TotalCycles {
+		t.Fatalf("pipelined %d not faster than serial offload %d",
+			repPiped.TotalCycles, repSerial.TotalCycles)
+	}
+}
+
+func TestExecuteZeroCostNodes(t *testing.T) {
+	b := graph.NewBuilder("z", 1, 4, 4, 8)
+	b.Light = true
+	g, err := b.Flatten().Gemm(10).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := rep.NodeByName(g.Nodes[0].Name)
+	if flat == nil || !flat.Elided || flat.Duration() != 0 {
+		t.Fatalf("flatten not zero-cost: %+v", flat)
+	}
+}
+
+func TestExecuteCrossDeviceMove(t *testing.T) {
+	// PIM conv feeding a GPU relu: the relu must pay interconnect time.
+	b := graph.NewBuilder("x", 1, 14, 14, 256)
+	b.Light = true
+	g, err := b.PointwiseConv(256).Relu().Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Nodes[0].Exec = graph.ExecHint{Device: graph.DevicePIM}
+	rep, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	relu := rep.NodeByName(g.Nodes[1].Name)
+	if relu.MoveCycles <= 0 {
+		t.Fatal("no cross-device move charged")
+	}
+	if rep.MoveCycles != relu.MoveCycles {
+		t.Fatal("move cycles not aggregated")
+	}
+}
+
+func TestExecuteRejectsBadPIMAnnotation(t *testing.T) {
+	b := graph.NewBuilder("bad", 1, 4, 4, 4)
+	b.Light = true
+	g, err := b.Relu().Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Nodes[0].Exec = graph.ExecHint{Device: graph.DevicePIM}
+	if _, err := Execute(g, DefaultConfig()); err == nil {
+		t.Fatal("elementwise op on PIM accepted")
+	}
+}
+
+func TestExecuteConfigValidation(t *testing.T) {
+	g := pointwiseGraph(t)
+	cfg := DefaultConfig()
+	cfg.InterconnectBytesPerCycle = 0
+	if _, err := Execute(g, cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	g, err := models.Build("toy", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalCycles != r2.TotalCycles {
+		t.Fatalf("nondeterministic: %d vs %d", r1.TotalCycles, r2.TotalCycles)
+	}
+}
+
+func TestExecuteFullModel(t *testing.T) {
+	g, err := models.Build("mobilenet-v2", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Nodes) != len(g.Nodes) {
+		t.Fatalf("%d reports for %d nodes", len(rep.Nodes), len(g.Nodes))
+	}
+	if rep.TotalCycles <= 0 || rep.Seconds <= 0 {
+		t.Fatal("empty timing")
+	}
+	// End time of the last node equals the makespan for a straight chain.
+	var maxEnd int64
+	for _, n := range rep.Nodes {
+		if n.End > maxEnd {
+			maxEnd = n.End
+		}
+	}
+	if maxEnd != rep.TotalCycles {
+		t.Fatalf("makespan %d != max end %d", rep.TotalCycles, maxEnd)
+	}
+}

@@ -1,0 +1,100 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pimflow/internal/graph"
+	"pimflow/internal/transform"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	b := graph.NewBuilder("ct", 1, 14, 14, 576)
+	b.Light = true
+	g, err := b.PointwiseConv(160).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transform.SplitMDDP(g, g.Nodes[0].Name, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	transform.ElideDataMovement(g)
+	rep, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TID   int     `json:"tid"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Two conv halves; elided slices/concat omitted.
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d events, want 2", len(doc.TraceEvents))
+	}
+	tids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" || e.Dur <= 0 {
+			t.Errorf("bad event %+v", e)
+		}
+		tids[e.TID] = true
+	}
+	if !tids[0] || !tids[1] {
+		t.Error("events not on both device tracks")
+	}
+}
+
+func TestWriteChromeTraceNil(t *testing.T) {
+	var r *Report
+	if err := r.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil report accepted")
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	b := graph.NewBuilder("gt", 1, 14, 14, 576)
+	b.Light = true
+	g, err := b.PointwiseConv(160).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transform.SplitMDDP(g, g.Nodes[0].Name, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	transform.ElideDataMovement(g)
+	rep, err := Execute(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.RenderGantt(60)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines:\n%s", out)
+	}
+	// Both devices must show busy cells (the halves overlap).
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "#") && !strings.Contains(l, "+") {
+			t.Fatalf("idle track: %q", l)
+		}
+	}
+	// Degenerate inputs.
+	var nilRep *Report
+	if nilRep.RenderGantt(60) != "" {
+		t.Fatal("nil report rendered")
+	}
+	if rep.RenderGantt(5) != "" {
+		t.Fatal("tiny width rendered")
+	}
+}

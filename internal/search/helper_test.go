@@ -1,0 +1,11 @@
+package search
+
+import (
+	"pimflow/internal/graph"
+	"pimflow/internal/interp"
+	"pimflow/internal/tensor"
+)
+
+func interpRun(g *graph.Graph, in *tensor.Tensor) (*tensor.Tensor, error) {
+	return interp.RunSingle(g, in)
+}

@@ -1,0 +1,211 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/gpu"
+	"pimflow/internal/graph"
+	"pimflow/internal/lower"
+	"pimflow/internal/runtime"
+	"pimflow/internal/transform"
+)
+
+// profiler measures layer execution times on the simulated hardware,
+// caching PIM trace simulations by workload (the paper stores search
+// results in a metadata log for reuse across compilations). It is safe
+// for concurrent use: Run profiles independent layers in parallel.
+type profiler struct {
+	opts Options
+	rt   runtime.Config
+
+	mu      sync.Mutex
+	pimTime map[string]int64
+}
+
+func newProfiler(opts Options) *profiler {
+	return &profiler{opts: opts, rt: opts.RuntimeConfig(), pimTime: map[string]int64{}}
+}
+
+func (p *profiler) pimKey(w codegen.Workload) string {
+	c := p.rt.PIM
+	return fmt.Sprintf("%d.%d.%d.%d|%d.%d.%v.%d.%v",
+		w.M, w.K, w.N, w.Segments,
+		c.Channels, c.GlobalBufs, c.GWriteLatencyHiding,
+		p.rt.Codegen.Granularity, p.rt.Codegen.StridedGWrite)
+}
+
+// pimWorkload times a PIM GEMM workload (cached).
+func (p *profiler) pimWorkload(w codegen.Workload) (int64, error) {
+	key := p.pimKey(w)
+	p.mu.Lock()
+	if t, ok := p.pimTime[key]; ok {
+		p.mu.Unlock()
+		return t, nil
+	}
+	p.mu.Unlock()
+	st, err := codegen.TimeWorkload(w, p.rt.PIM, p.rt.Codegen)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	p.pimTime[key] = st.Cycles
+	p.mu.Unlock()
+	return st.Cycles, nil
+}
+
+// gpuNode times a node on the GPU under the policy's channel count.
+func (p *profiler) gpuNode(g *graph.Graph, n *graph.Node) (int64, error) {
+	r, err := gpu.TimeNode(g, n, p.rt.GPU)
+	if err != nil {
+		return 0, err
+	}
+	return r.Cycles, nil
+}
+
+// pimNode times a whole node offloaded to PIM.
+func (p *profiler) pimNode(g *graph.Graph, n *graph.Node) (int64, error) {
+	w, err := codegen.NodeWorkload(g, n)
+	if err != nil {
+		return 0, err
+	}
+	return p.pimWorkload(w)
+}
+
+// mddp times the MD-DP execution of a candidate node at the given GPU
+// ratio: the two halves run in parallel and synchronize at the concat
+// (which the memory optimizer elides).
+func (p *profiler) mddp(g *graph.Graph, n *graph.Node, ratio float64) (int64, error) {
+	switch n.Op {
+	case graph.OpConv:
+		return p.mddpConv(g, n, ratio)
+	case graph.OpGemm:
+		return p.mddpGemm(g, n, ratio)
+	default:
+		return 0, fmt.Errorf("search: cannot split %s", n.Op)
+	}
+}
+
+func (p *profiler) mddpConv(g *graph.Graph, n *graph.Node, ratio float64) (int64, error) {
+	cp, err := graph.ConvParamsOf(n)
+	if err != nil {
+		return 0, err
+	}
+	in := g.Tensors[n.Inputs[0]].Shape
+	w := g.Tensors[n.Inputs[1]].Shape
+	out := g.Tensors[n.Outputs[0]].Shape
+	oh, ow := out[1], out[2]
+	oCut := int(math.Round(float64(oh) * ratio))
+	if oCut < 1 || oCut >= oh {
+		return 0, fmt.Errorf("search: conv %q cannot split %d rows at %v", n.Name, oh, ratio)
+	}
+	// GPU half: top oCut output rows; its input slice height follows the
+	// receptive field.
+	inRows := (oCut-1)*cp.StrideH + cp.KernelH
+	if inRows > in[1] {
+		inRows = in[1]
+	}
+	gl := lower.ConvLowering{
+		Dims:   lower.GemmDims{M: oCut * ow, K: cp.KernelH * cp.KernelW * (in[3] / cp.Group), N: w[3] / cp.Group},
+		Groups: cp.Group,
+		OutH:   oCut, OutW: ow,
+	}
+	gk := p.rt.GPU.ConvKernel(n.Name+"_gpu", inRows, in[2], in[3], gl)
+	gr, err := p.rt.GPU.Time(gk)
+	if err != nil {
+		return 0, err
+	}
+	// PIM half: remaining rows.
+	pw := codegen.Workload{M: (oh - oCut) * ow, K: gl.Dims.K, N: w[3], Segments: cp.KernelH}
+	pt, err := p.pimWorkload(pw)
+	if err != nil {
+		return 0, err
+	}
+	return max64(gr.Cycles, pt) + p.rt.SyncOverheadCycles, nil
+}
+
+func (p *profiler) mddpGemm(g *graph.Graph, n *graph.Node, ratio float64) (int64, error) {
+	in := g.Tensors[n.Inputs[0]].Shape
+	w := g.Tensors[n.Inputs[1]].Shape
+	m, k, nOut := in[0], in[1], w[1]
+	cut := int(math.Round(float64(nOut) * ratio))
+	if cut < 1 || cut >= nOut {
+		return 0, fmt.Errorf("search: gemm %q cannot split %d features at %v", n.Name, nOut, ratio)
+	}
+	gk := p.rt.GPU.GemmKernel(n.Name+"_gpu", m, k, cut)
+	gr, err := p.rt.GPU.Time(gk)
+	if err != nil {
+		return 0, err
+	}
+	pt, err := p.pimWorkload(codegen.Workload{M: m, K: k, N: nOut - cut, Segments: 1})
+	if err != nil {
+		return 0, err
+	}
+	return max64(gr.Cycles, pt) + p.rt.SyncOverheadCycles, nil
+}
+
+// extractChain builds a standalone graph containing the chain nodes (the
+// first node's activation input becomes the graph input; weights carry
+// over), used to profile pipelining candidates in isolation.
+func extractChain(g *graph.Graph, names []string) (*graph.Graph, error) {
+	sub := graph.New("chain")
+	first := g.Node(names[0])
+	if first == nil {
+		return nil, fmt.Errorf("search: node %q not found", names[0])
+	}
+	inTI := g.Tensors[first.Inputs[0]]
+	if inTI == nil || !inTI.Shape.Valid() {
+		return nil, fmt.Errorf("search: chain input shape unknown")
+	}
+	sub.AddInput(first.Inputs[0], inTI.Shape...)
+	for _, name := range names {
+		n := g.Node(name)
+		if n == nil {
+			return nil, fmt.Errorf("search: node %q not found", name)
+		}
+		for _, in := range n.Inputs[1:] {
+			ti := g.Tensors[in]
+			if ti == nil {
+				return nil, fmt.Errorf("search: tensor %q unknown", in)
+			}
+			if ti.IsWeight() {
+				sub.Tensors[in] = &graph.TensorInfo{Name: in, Shape: ti.Shape.Clone(), Init: ti.Init, Param: true}
+			}
+		}
+		sub.AddNode(n.Clone())
+	}
+	last := g.Node(names[len(names)-1])
+	sub.MarkOutput(last.Outputs[0])
+	if err := sub.InferShapes(); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// pipeline profiles a pipelining candidate: the chain is extracted,
+// transformed at the configured stage count, memory-optimized, and
+// scheduled by the runtime.
+func (p *profiler) pipeline(g *graph.Graph, cand transform.Candidate, stages int) (int64, error) {
+	sub, err := extractChain(g, cand.Nodes)
+	if err != nil {
+		return 0, err
+	}
+	if err := transform.PipelineChain(sub, cand.Nodes, stages, 0); err != nil {
+		return 0, err
+	}
+	transform.ElideDataMovement(sub)
+	rep, err := runtime.Execute(sub, p.rt)
+	if err != nil {
+		return 0, err
+	}
+	return rep.TotalCycles, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,339 @@
+package search
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"pimflow/internal/graph"
+	"pimflow/internal/transform"
+)
+
+// Run executes Algorithm 1 on the graph: profile every node's execution
+// modes, profile every pipelining candidate, and solve for the optimal
+// combination with dynamic programming over the topological node order.
+func Run(g *graph.Graph, opts Options) (*Plan, error) {
+	if opts.RatioStep <= 0 || opts.RatioStep >= 1 {
+		return nil, fmt.Errorf("search: RatioStep %v outside (0,1)", opts.RatioStep)
+	}
+	if opts.PIMChannels < 1 || opts.PIMChannels >= opts.TotalChannels {
+		if opts.Policy != PolicyBaseline {
+			return nil, fmt.Errorf("search: PIMChannels %d invalid for %d total", opts.PIMChannels, opts.TotalChannels)
+		}
+	}
+	if err := g.InferShapes(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	prof := newProfiler(opts)
+	plan := &Plan{Model: g.Name, Policy: opts.Policy, Options: opts}
+
+	// Unary activations following a conv/FC layer are free: the GPU
+	// back-end fuses them into the producer kernel's epilogue (TVM's
+	// cuDNN mapping) and the PIM device applies activation functions on
+	// readout (as the AiM hardware supports). The runtime applies the same
+	// rule, keeping the DP cost model consistent with execution.
+	fusedBy := map[*graph.Node]*graph.Node{}
+	for _, n := range order {
+		if !isFusableActivation(n.Op) || len(n.Inputs) != 1 {
+			continue
+		}
+		p := g.Producer(n.Inputs[0])
+		if p == nil || (p.Op != graph.OpConv && p.Op != graph.OpGemm) {
+			continue
+		}
+		if len(g.Consumers(p.Outputs[0])) != 1 {
+			continue
+		}
+		fusedBy[n] = p
+	}
+
+	// Phase 1: per-node execution mode and task size (optimal_split).
+	// Layers are independent, so they are profiled concurrently (the
+	// paper's hardware measurement phase likewise batches samples).
+	idxOf := map[string]int{}
+	for i, n := range order {
+		idxOf[n.Name] = i
+	}
+	cost := make([]int64, len(order))
+	plan.Decisions = make([]LayerDecision, len(order))
+	if err := forEachParallel(len(order), func(i int) error {
+		n := order[i]
+		d := LayerDecision{Node: n.Name, Op: n.Op, GPURatio: 1}
+		var tGPU int64
+		if _, fused := fusedBy[n]; !fused {
+			t, err := prof.gpuNode(g, n)
+			if err != nil {
+				return fmt.Errorf("search: GPU profile %q: %w", n.Name, err)
+			}
+			tGPU = t
+		}
+		d.GPUTime = tGPU
+		d.BestTime = tGPU
+		if opts.allowOffload() && g.IsPIMCandidate(n) {
+			d.PIMCandidate = true
+			tPIM, err := prof.pimNode(g, n)
+			if err != nil {
+				return fmt.Errorf("search: PIM profile %q: %w", n.Name, err)
+			}
+			d.PIMTime = tPIM
+			if tPIM < d.BestTime {
+				d.BestTime = tPIM
+				d.GPURatio = 0
+			}
+			if opts.allowMDDP() {
+				if opts.KeepSamples {
+					d.Samples = append(d.Samples,
+						RatioSample{GPURatio: 0, Cycles: tPIM},
+						RatioSample{GPURatio: 1, Cycles: tGPU})
+				}
+				for r := opts.RatioStep; r < 1-opts.RatioStep/2; r += opts.RatioStep {
+					t, err := prof.mddp(g, n, r)
+					if err != nil {
+						continue // unsplittable at this ratio
+					}
+					if opts.KeepSamples {
+						d.Samples = append(d.Samples, RatioSample{GPURatio: r, Cycles: t})
+					}
+					if t < d.BestTime {
+						d.BestTime = t
+						d.GPURatio = r
+					}
+				}
+				if opts.RefineRatio && d.GPURatio > 0 && d.GPURatio < 1 {
+					step := opts.RefineStep
+					if step <= 0 {
+						step = 0.02
+					}
+					lo := d.GPURatio - opts.RatioStep
+					hi := d.GPURatio + opts.RatioStep
+					for r := lo; r <= hi+step/2; r += step {
+						if r <= 0 || r >= 1 {
+							continue
+						}
+						t, err := prof.mddp(g, n, r)
+						if err != nil {
+							continue
+						}
+						if t < d.BestTime {
+							d.BestTime = t
+							d.GPURatio = r
+						}
+					}
+				}
+			}
+		}
+		cost[i] = d.BestTime
+		plan.Decisions[i] = d
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: pipelining candidates (also independent; profiled
+	// concurrently, order preserved).
+	if opts.allowPipeline() {
+		cands := transform.FindPipelineCandidates(g)
+		results := make([]*PipelineDecision, len(cands))
+		if err := forEachParallel(len(cands), func(ci int) error {
+			cand := cands[ci]
+			start, length, ok := chainSpan(cand.Nodes, idxOf)
+			if !ok {
+				return nil // not consecutive in topological order
+			}
+			t, err := prof.pipeline(g, cand, opts.PipelineStages)
+			if err != nil {
+				return nil // rejected candidate (e.g. too few rows)
+			}
+			var serial int64
+			for i := start; i < start+length; i++ {
+				serial += cost[i]
+			}
+			results[ci] = &PipelineDecision{
+				Candidate: cand, Stages: opts.PipelineStages,
+				StartIdx: start, Len: length,
+				Time: t, SerialBest: serial,
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for _, pd := range results {
+			if pd != nil {
+				plan.Pipelines = append(plan.Pipelines, *pd)
+			}
+		}
+	}
+
+	// Phase 3: dynamic program over the node sequence (Algorithm 1 lines
+	// 23-29): D[i] is the optimal time of nodes i..end; at each i either
+	// execute node i in its best single-node mode or enter a pipelined
+	// subgraph covering [i, i+len).
+	n := len(order)
+	dp := make([]int64, n+1)
+	choice := make([]int, n) // -1 = single node, else pipeline index
+	const inf = int64(1) << 62
+	for i := n - 1; i >= 0; i-- {
+		dp[i] = inf
+		choice[i] = -1
+		if cost[i]+dp[i+1] < dp[i] {
+			dp[i] = cost[i] + dp[i+1]
+		}
+		for pi := range plan.Pipelines {
+			pd := &plan.Pipelines[pi]
+			if pd.StartIdx != i {
+				continue
+			}
+			if t := pd.Time + dp[i+pd.Len]; t < dp[i] {
+				dp[i] = t
+				choice[i] = pi
+			}
+		}
+	}
+	for i := 0; i < n; {
+		if choice[i] >= 0 {
+			plan.Pipelines[choice[i]].Chosen = true
+			i += plan.Pipelines[choice[i]].Len
+		} else {
+			i++
+		}
+	}
+	plan.TotalProfiled = dp[0]
+	return plan, nil
+}
+
+// forEachParallel runs f(0..n-1) on a bounded worker pool and returns the
+// first error.
+func forEachParallel(n int, f func(i int) error) error {
+	workers := goruntime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int64 = -1
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// isFusableActivation mirrors the runtime's fusion rule.
+func isFusableActivation(op graph.OpType) bool {
+	switch op {
+	case graph.OpRelu, graph.OpClip, graph.OpSigmoid, graph.OpSiLU, graph.OpGelu:
+		return true
+	}
+	return false
+}
+
+// chainSpan locates a chain in the topological order, requiring its nodes
+// to be consecutive.
+func chainSpan(names []string, idxOf map[string]int) (start, length int, ok bool) {
+	start = -1
+	for i, name := range names {
+		idx, found := idxOf[name]
+		if !found {
+			return 0, 0, false
+		}
+		if i == 0 {
+			start = idx
+		} else if idx != start+i {
+			return 0, 0, false
+		}
+	}
+	return start, len(names), true
+}
+
+// Apply transforms a clone of the graph according to the plan: chosen
+// pipeline candidates are rewritten by the pipelining pass, MD-DP nodes
+// are split, full-offload nodes are annotated for PIM, and the memory
+// optimizer elides the introduced data-movement nodes.
+func Apply(g *graph.Graph, plan *Plan) (*graph.Graph, error) {
+	out := g.Clone()
+	pipelined := map[string]bool{}
+	groupID := 0
+	for _, pd := range plan.Pipelines {
+		if !pd.Chosen {
+			continue
+		}
+		if err := transform.PipelineChain(out, pd.Candidate.Nodes, pd.Stages, groupID); err != nil {
+			return nil, fmt.Errorf("search: apply pipeline %v: %w", pd.Candidate.Nodes, err)
+		}
+		groupID++
+		for _, n := range pd.Candidate.Nodes {
+			pipelined[n] = true
+		}
+	}
+	for _, d := range plan.Decisions {
+		if !d.PIMCandidate || pipelined[d.Node] {
+			continue
+		}
+		switch {
+		case d.GPURatio <= 0:
+			n := out.Node(d.Node)
+			if n == nil {
+				return nil, fmt.Errorf("search: node %q vanished", d.Node)
+			}
+			n.Exec = graph.ExecHint{Mode: graph.ModeSerial, Device: graph.DevicePIM}
+		case d.GPURatio >= 1:
+			// Full GPU: default annotation.
+		default:
+			if err := transform.SplitMDDP(out, d.Node, d.GPURatio); err != nil {
+				return nil, fmt.Errorf("search: apply split %q: %w", d.Node, err)
+			}
+		}
+	}
+	transform.ElideDataMovement(out)
+	if err := out.InferShapes(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Compile runs the search and applies the plan, returning the transformed
+// graph and the plan.
+func Compile(g *graph.Graph, opts Options) (*graph.Graph, *Plan, error) {
+	plan, err := Run(g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := Apply(g, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, plan, nil
+}

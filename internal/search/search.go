@@ -1,0 +1,249 @@
+// Package search implements PIMFlow's execution mode and task size search
+// (paper §4.2.2, Algorithm 1). Prior to compilation, every PIM-candidate
+// layer is profiled on the simulated hardware at 10% GPU/PIM split-ratio
+// intervals (including full-GPU and full-PIM execution), every pipelining
+// candidate subgraph is profiled at the configured stage count, and a
+// dynamic program picks the optimal combination over the topologically
+// sorted node sequence.
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/gpu"
+	"pimflow/internal/graph"
+	"pimflow/internal/pim"
+	"pimflow/internal/runtime"
+	"pimflow/internal/transform"
+)
+
+// Policy selects the offloading mechanism being evaluated (paper §5).
+type Policy int
+
+const (
+	// PolicyBaseline is GPU-only execution with the full 32-channel memory.
+	PolicyBaseline Policy = iota
+	// PolicyNewtonPlus is baseline Newton offloading: serial full-layer
+	// offload decisions, one global buffer, no GWRITE latency hiding or
+	// strided GWRITE, with multi-channel command scheduling.
+	PolicyNewtonPlus
+	// PolicyNewtonPlusPlus adds the PIM command optimizations (four global
+	// buffers with GWRITE_4, latency hiding, strided GWRITE).
+	PolicyNewtonPlusPlus
+	// PolicyMDDP is Newton++ plus multi-device data-parallel execution.
+	PolicyMDDP
+	// PolicyPipeline is Newton++ plus pipelined execution only.
+	PolicyPipeline
+	// PolicyPIMFlow enables the full system: MD-DP and pipelining.
+	PolicyPIMFlow
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "Baseline"
+	case PolicyNewtonPlus:
+		return "Newton+"
+	case PolicyNewtonPlusPlus:
+		return "Newton++"
+	case PolicyMDDP:
+		return "PIMFlow-md"
+	case PolicyPipeline:
+		return "PIMFlow-pl"
+	case PolicyPIMFlow:
+		return "PIMFlow"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Policies returns all offloading mechanisms in evaluation order.
+func Policies() []Policy {
+	return []Policy{PolicyBaseline, PolicyNewtonPlus, PolicyNewtonPlusPlus, PolicyMDDP, PolicyPipeline, PolicyPIMFlow}
+}
+
+// Options parameterizes the search.
+type Options struct {
+	Policy Policy
+	// RatioStep is the MD-DP split granularity (paper: 0.1).
+	RatioStep float64
+	// PipelineStages is the pipeline depth (paper: 2 is optimal, Fig 15).
+	PipelineStages int
+	// TotalChannels is the memory's channel count (32).
+	TotalChannels int
+	// PIMChannels is the PIM-enabled subset (16 in the default 16+16).
+	PIMChannels int
+	// GPU is the base GPU model (channel count is derived per policy).
+	GPU gpu.Config
+	// PIMBase is the base PIM config (buffers/hiding derived per policy).
+	PIMBase pim.Config
+	// RefineRatio enables the auto-tuning extension sketched in the
+	// paper's future work (and its 2%-interval footnote): after the
+	// coarse 10% sweep, the best MD-DP ratio is locally refined at
+	// RefineStep granularity within one coarse step on either side.
+	RefineRatio bool
+	// RefineStep is the fine search granularity (default 0.02).
+	RefineStep float64
+	// KeepSamples records every profiled (ratio, cycles) sample in the
+	// LayerDecision, for offline analysis of the search curves (the
+	// artifact's PIMFlow/layerwise profiling data).
+	KeepSamples bool
+}
+
+// DefaultOptions returns the paper's configuration for the given policy.
+func DefaultOptions(p Policy) Options {
+	return Options{
+		Policy:         p,
+		RatioStep:      0.1,
+		PipelineStages: 2,
+		TotalChannels:  32,
+		PIMChannels:    16,
+		GPU:            gpu.DefaultConfig(),
+		PIMBase:        pim.DefaultConfig(),
+	}
+}
+
+// GPUChannels returns the channels visible to the GPU under this policy.
+func (o Options) GPUChannels() int {
+	if o.Policy == PolicyBaseline {
+		return o.TotalChannels
+	}
+	return o.TotalChannels - o.PIMChannels
+}
+
+// RuntimeConfig derives the runtime configuration for this policy.
+func (o Options) RuntimeConfig() runtime.Config {
+	cfg := runtime.DefaultConfig()
+	cfg.GPU = o.GPU.WithChannels(o.GPUChannels())
+	p := o.PIMBase
+	p.Channels = o.PIMChannels
+	switch o.Policy {
+	case PolicyNewtonPlus:
+		p.GlobalBufs = 1
+		p.GWriteLatencyHiding = false
+		cfg.Codegen = codegen.Opts{Granularity: codegen.GranComp, StridedGWrite: false}
+	default:
+		cfg.Codegen = codegen.DefaultOpts()
+	}
+	cfg.PIM = p
+	return cfg
+}
+
+func (o Options) allowOffload() bool  { return o.Policy != PolicyBaseline }
+func (o Options) allowMDDP() bool     { return o.Policy == PolicyMDDP || o.Policy == PolicyPIMFlow }
+func (o Options) allowPipeline() bool { return o.Policy == PolicyPipeline || o.Policy == PolicyPIMFlow }
+
+// RatioSample is one profiled MD-DP operating point.
+type RatioSample struct {
+	// GPURatio is the fraction of work on GPU.
+	GPURatio float64
+	// Cycles is the profiled mixed execution time.
+	Cycles int64
+}
+
+// LayerDecision is the chosen execution mode for one node.
+type LayerDecision struct {
+	Node string
+	Op   graph.OpType
+	// PIMCandidate reports whether the node could offload at all.
+	PIMCandidate bool
+	// GPURatio is the fraction of work on GPU: 0 full offload, 1 full GPU,
+	// otherwise MD-DP.
+	GPURatio float64
+	// GPUTime and PIMTime are the profiled serial times (cycles).
+	GPUTime, PIMTime int64
+	// BestTime is the chosen mode's profiled time.
+	BestTime int64
+	// Samples holds every profiled ratio point when Options.KeepSamples
+	// is set.
+	Samples []RatioSample
+}
+
+// Mode returns the decision's execution mode.
+func (d LayerDecision) Mode() graph.ExecMode {
+	if !d.PIMCandidate || d.GPURatio >= 1 {
+		return graph.ModeSerial
+	}
+	if d.GPURatio <= 0 {
+		return graph.ModeSerial
+	}
+	return graph.ModeMDDP
+}
+
+// Device returns the serial-mode device.
+func (d LayerDecision) Device() graph.Device {
+	if d.PIMCandidate && d.GPURatio <= 0 {
+		return graph.DevicePIM
+	}
+	return graph.DeviceGPU
+}
+
+// PipelineDecision records one profiled pipelining candidate.
+type PipelineDecision struct {
+	Candidate transform.Candidate
+	Stages    int
+	// StartIdx and Len locate the chain in the topological node order.
+	StartIdx, Len int
+	// Time is the profiled pipelined execution time (cycles).
+	Time int64
+	// SerialBest is the summed best per-node time of the covered nodes.
+	SerialBest int64
+	// Chosen reports whether the DP selected this candidate.
+	Chosen bool
+}
+
+// Plan is the search result: everything Apply needs to transform the graph
+// plus the profile data the evaluation figures report.
+type Plan struct {
+	Model     string
+	Policy    Policy
+	Options   Options
+	Decisions []LayerDecision
+	Pipelines []PipelineDecision
+	// TotalProfiled is the DP objective: the summed profiled time of the
+	// chosen partition (a lower bound on the scheduled time; the runtime
+	// overlap can beat it).
+	TotalProfiled int64
+}
+
+// DecisionFor returns the decision for a node name, or nil.
+func (p *Plan) DecisionFor(name string) *LayerDecision {
+	for i := range p.Decisions {
+		if p.Decisions[i].Node == name {
+			return &p.Decisions[i]
+		}
+	}
+	return nil
+}
+
+// RatioHistogram returns the Table 2 distribution: for each GPU split
+// ratio bucket 0,10,...,100, the fraction of PIM-candidate layers that
+// chose it. Pipelined layers are excluded (they have no ratio).
+func (p *Plan) RatioHistogram() map[int]float64 {
+	pipelined := map[string]bool{}
+	for _, pd := range p.Pipelines {
+		if pd.Chosen {
+			for _, n := range pd.Candidate.Nodes {
+				pipelined[n] = true
+			}
+		}
+	}
+	hist := map[int]float64{}
+	total := 0
+	for _, d := range p.Decisions {
+		if !d.PIMCandidate || pipelined[d.Node] {
+			continue
+		}
+		bucket := int(math.Round(d.GPURatio * 10))
+		hist[bucket*10]++
+		total++
+	}
+	if total > 0 {
+		for k := range hist {
+			hist[k] /= float64(total)
+		}
+	}
+	return hist
+}

@@ -1,0 +1,473 @@
+package search
+
+import (
+	"testing"
+
+	"pimflow/internal/graph"
+	"pimflow/internal/models"
+	"pimflow/internal/runtime"
+	"pimflow/internal/tensor"
+)
+
+func toyGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := models.Build("toy", models.Options{Light: true, Resolution: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := []string{"Baseline", "Newton+", "Newton++", "PIMFlow-md", "PIMFlow-pl", "PIMFlow"}
+	for i, p := range Policies() {
+		if p.String() != want[i] {
+			t.Errorf("policy %d = %q, want %q", i, p, want[i])
+		}
+	}
+}
+
+func TestOptionsChannels(t *testing.T) {
+	if DefaultOptions(PolicyBaseline).GPUChannels() != 32 {
+		t.Error("baseline should see all 32 channels")
+	}
+	if DefaultOptions(PolicyPIMFlow).GPUChannels() != 16 {
+		t.Error("PIM mode should leave 16 GPU channels")
+	}
+}
+
+func TestRuntimeConfigPerPolicy(t *testing.T) {
+	np := DefaultOptions(PolicyNewtonPlus).RuntimeConfig()
+	if np.PIM.GlobalBufs != 1 || np.PIM.GWriteLatencyHiding || np.Codegen.StridedGWrite {
+		t.Errorf("Newton+ config %+v %+v", np.PIM, np.Codegen)
+	}
+	npp := DefaultOptions(PolicyNewtonPlusPlus).RuntimeConfig()
+	if npp.PIM.GlobalBufs != 4 || !npp.PIM.GWriteLatencyHiding || !npp.Codegen.StridedGWrite {
+		t.Errorf("Newton++ config %+v %+v", npp.PIM, npp.Codegen)
+	}
+}
+
+func TestRunBaselineAllGPU(t *testing.T) {
+	g := toyGraph(t)
+	plan, err := Run(g, DefaultOptions(PolicyBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range plan.Decisions {
+		if d.PIMCandidate || d.GPURatio != 1 {
+			t.Errorf("baseline decision %+v offloads", d)
+		}
+	}
+	if len(plan.Pipelines) != 0 {
+		t.Error("baseline profiled pipelines")
+	}
+}
+
+func TestRunDecisionsCoverAllNodes(t *testing.T) {
+	g := toyGraph(t)
+	plan, err := Run(g, DefaultOptions(PolicyPIMFlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Decisions) != len(g.Nodes) {
+		t.Fatalf("%d decisions for %d nodes", len(plan.Decisions), len(g.Nodes))
+	}
+	candidates := 0
+	for _, d := range plan.Decisions {
+		if d.PIMCandidate {
+			candidates++
+			if d.PIMTime <= 0 || d.GPUTime <= 0 {
+				t.Errorf("candidate %q lacks profile times: %+v", d.Node, d)
+			}
+			if d.BestTime > d.GPUTime || (d.PIMTime > 0 && d.BestTime > d.PIMTime) {
+				t.Errorf("candidate %q best %d worse than serial options (%d GPU, %d PIM)",
+					d.Node, d.BestTime, d.GPUTime, d.PIMTime)
+			}
+		}
+	}
+	if candidates != 4 { // 3 non-DW convs + 1 FC
+		t.Errorf("%d candidates, want 4", candidates)
+	}
+}
+
+func TestDecisionModeDevice(t *testing.T) {
+	d := LayerDecision{PIMCandidate: true, GPURatio: 0}
+	if d.Mode() != graph.ModeSerial || d.Device() != graph.DevicePIM {
+		t.Error("full offload misclassified")
+	}
+	d.GPURatio = 0.5
+	if d.Mode() != graph.ModeMDDP {
+		t.Error("split misclassified")
+	}
+	d.GPURatio = 1
+	if d.Mode() != graph.ModeSerial || d.Device() != graph.DeviceGPU {
+		t.Error("full GPU misclassified")
+	}
+	d.PIMCandidate = false
+	if d.Device() != graph.DeviceGPU {
+		t.Error("non-candidate device")
+	}
+}
+
+// The full pipeline: Compile must produce a valid graph that the runtime
+// executes faster than (or equal to) the baseline.
+func TestCompileImprovesOverBaseline(t *testing.T) {
+	g, err := models.Build("mobilenet-v2", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseOpts := DefaultOptions(PolicyBaseline)
+	baseRep, err := runtime.Execute(g, baseOpts.RuntimeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(PolicyPIMFlow)
+	xg, plan, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xg.Validate(); err != nil {
+		t.Fatalf("transformed graph invalid: %v", err)
+	}
+	rep, err := runtime.Execute(xg, opts.RuntimeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles >= baseRep.TotalCycles {
+		t.Fatalf("PIMFlow %d not faster than baseline %d", rep.TotalCycles, baseRep.TotalCycles)
+	}
+	if plan.TotalProfiled <= 0 {
+		t.Fatal("empty DP objective")
+	}
+}
+
+// Policy ordering on a mobile CNN: each stronger mechanism must not be
+// slower than its weaker predecessor (Newton++ >= Newton+, PIMFlow >= md
+// and >= pl; all PIM policies beat nothing worse than baseline here).
+func TestPolicyOrdering(t *testing.T) {
+	g, err := models.Build("mnasnet-1.0", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[Policy]int64{}
+	for _, p := range Policies() {
+		opts := DefaultOptions(p)
+		xg, _, err := Compile(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := runtime.Execute(xg, opts.RuntimeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[p] = rep.TotalCycles
+	}
+	if times[PolicyNewtonPlusPlus] > times[PolicyNewtonPlus] {
+		t.Errorf("Newton++ (%d) slower than Newton+ (%d)", times[PolicyNewtonPlusPlus], times[PolicyNewtonPlus])
+	}
+	if times[PolicyMDDP] > times[PolicyNewtonPlusPlus] {
+		t.Errorf("PIMFlow-md (%d) slower than Newton++ (%d)", times[PolicyMDDP], times[PolicyNewtonPlusPlus])
+	}
+	if times[PolicyPipeline] > times[PolicyNewtonPlusPlus] {
+		t.Errorf("PIMFlow-pl (%d) slower than Newton++ (%d)", times[PolicyPipeline], times[PolicyNewtonPlusPlus])
+	}
+	// Full PIMFlow within 2% of the best variant (profile-guided choices
+	// may differ marginally from the variants' local optima).
+	best := times[PolicyMDDP]
+	if times[PolicyPipeline] < best {
+		best = times[PolicyPipeline]
+	}
+	if float64(times[PolicyPIMFlow]) > 1.02*float64(best) {
+		t.Errorf("PIMFlow (%d) worse than best variant (%d)", times[PolicyPIMFlow], best)
+	}
+	if times[PolicyPIMFlow] >= times[PolicyBaseline] {
+		t.Errorf("PIMFlow (%d) not faster than baseline (%d)", times[PolicyPIMFlow], times[PolicyBaseline])
+	}
+}
+
+// Transformed PIMFlow graphs must preserve model semantics end to end.
+func TestCompilePreservesSemantics(t *testing.T) {
+	g, err := models.Build("toy", models.Options{Resolution: 32}) // full weights
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(PolicyPIMFlow)
+	xg, _, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(1, 32, 32, 3)
+	in.FillRandom(77)
+	a, err := interpRun(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := interpRun(xg, in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(a, b, 1e-3) {
+		t.Fatalf("semantics changed: max diff %v", tensor.MaxAbsDiff(a, b))
+	}
+}
+
+func TestRatioHistogramSums(t *testing.T) {
+	g, err := models.Build("mobilenet-v2", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Run(g, DefaultOptions(PolicyPIMFlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := plan.RatioHistogram()
+	var sum float64
+	for bucket, frac := range hist {
+		if bucket < 0 || bucket > 100 || bucket%10 != 0 {
+			t.Errorf("bad bucket %d", bucket)
+		}
+		sum += frac
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("histogram sums to %v", sum)
+	}
+	// Paper Table 2: no layer stays fully on GPU; our GPU model's tile
+	// quantization keeps a minority of memory-bound projection convs on
+	// GPU (documented in EXPERIMENTS.md). Most layers must offload.
+	if hist[100] > 0.30 {
+		t.Errorf("%.0f%% of layers chose full GPU; paper shape is ~0", hist[100]*100)
+	}
+	if hist[0] < 0.02 {
+		t.Error("no layer chose full offload; paper shape has 41%")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	g := toyGraph(t)
+	opts := DefaultOptions(PolicyPIMFlow)
+	opts.RatioStep = 0
+	if _, err := Run(g, opts); err == nil {
+		t.Error("zero ratio step accepted")
+	}
+	opts = DefaultOptions(PolicyPIMFlow)
+	opts.PIMChannels = 40
+	if _, err := Run(g, opts); err == nil {
+		t.Error("PIM channels > total accepted")
+	}
+}
+
+// The future-work ratio refinement must never produce a worse plan, and
+// like the paper's 2%-interval footnote it should yield only a small
+// additional gain.
+func TestRefineRatioNeverWorse(t *testing.T) {
+	g, err := models.Build("mobilenet-v2", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := DefaultOptions(PolicyMDDP)
+	planCoarse, err := Run(g, coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := DefaultOptions(PolicyMDDP)
+	fine.RefineRatio = true
+	planFine, err := Run(g, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planFine.TotalProfiled > planCoarse.TotalProfiled {
+		t.Fatalf("refined plan %d worse than coarse %d", planFine.TotalProfiled, planCoarse.TotalProfiled)
+	}
+	gain := 1 - float64(planFine.TotalProfiled)/float64(planCoarse.TotalProfiled)
+	if gain > 0.10 {
+		t.Fatalf("refinement gained %.1f%%; expected a small improvement (paper: ~1%%)", gain*100)
+	}
+	// Refined ratios may fall off the 10% grid.
+	offGrid := false
+	for _, d := range planFine.Decisions {
+		if d.GPURatio > 0 && d.GPURatio < 1 {
+			scaled := d.GPURatio * 10
+			if scaled != float64(int(scaled+0.5)) {
+				offGrid = true
+			}
+		}
+	}
+	_ = offGrid // off-grid ratios are allowed but not required
+}
+
+// The dynamic program must find the true optimum over node costs and
+// pipeline choices; verify against exhaustive recursion on a model with
+// many overlapping pipeline candidates.
+func TestDPMatchesBruteForce(t *testing.T) {
+	g, err := models.Build("mobilenet-v2", models.Options{Light: true, Resolution: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Run(g, DefaultOptions(PolicyPIMFlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(plan.Decisions)
+	cost := make([]int64, n)
+	for i, d := range plan.Decisions {
+		cost[i] = d.BestTime
+	}
+	memo := make(map[int]int64, n)
+	var best func(i int) int64
+	best = func(i int) int64 {
+		if i >= n {
+			return 0
+		}
+		if v, ok := memo[i]; ok {
+			return v
+		}
+		v := cost[i] + best(i+1)
+		for _, pd := range plan.Pipelines {
+			if pd.StartIdx != i {
+				continue
+			}
+			if t := pd.Time + best(i+pd.Len); t < v {
+				v = t
+			}
+		}
+		memo[i] = v
+		return v
+	}
+	if want := best(0); plan.TotalProfiled != want {
+		t.Fatalf("DP objective %d != brute force %d", plan.TotalProfiled, want)
+	}
+	// Chosen pipelines must be disjoint.
+	used := map[int]bool{}
+	for _, pd := range plan.Pipelines {
+		if !pd.Chosen {
+			continue
+		}
+		for i := pd.StartIdx; i < pd.StartIdx+pd.Len; i++ {
+			if used[i] {
+				t.Fatalf("chosen pipelines overlap at node %d", i)
+			}
+			used[i] = true
+		}
+	}
+}
+
+// Full-model integration: compiling MobileNetV2 (reduced resolution, real
+// weights) must preserve inference semantics through every applied
+// transformation.
+func TestCompileMobileNetPreservesSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional full-model run")
+	}
+	g, err := models.Build("mobilenet-v2", models.Options{Resolution: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xg, _, err := Compile(g, DefaultOptions(PolicyPIMFlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(1, 32, 32, 3)
+	in.FillRandom(123)
+	a, err := interpRun(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := interpRun(xg, in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(a, b, 1e-3) {
+		t.Fatalf("MobileNetV2 semantics changed: max diff %v", tensor.MaxAbsDiff(a, b))
+	}
+}
+
+func TestChainSpan(t *testing.T) {
+	idx := map[string]int{"a": 0, "b": 1, "c": 2, "x": 5}
+	if s, l, ok := chainSpan([]string{"a", "b", "c"}, idx); !ok || s != 0 || l != 3 {
+		t.Errorf("consecutive chain: %d %d %v", s, l, ok)
+	}
+	if _, _, ok := chainSpan([]string{"a", "x"}, idx); ok {
+		t.Error("non-consecutive accepted")
+	}
+	if _, _, ok := chainSpan([]string{"a", "ghost"}, idx); ok {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestKeepSamplesRecordsCurve(t *testing.T) {
+	g := toyGraph(t)
+	opts := DefaultOptions(PolicyMDDP)
+	opts.KeepSamples = true
+	plan, err := Run(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range plan.Decisions {
+		if !d.PIMCandidate {
+			if len(d.Samples) != 0 {
+				t.Errorf("non-candidate %q has samples", d.Node)
+			}
+			continue
+		}
+		if len(d.Samples) < 3 {
+			continue // tiny layers may reject most ratios
+		}
+		found = true
+		// The chosen BestTime must be the minimum of the recorded curve
+		// (up to rejected ratios).
+		for _, s := range d.Samples {
+			if s.Cycles < d.BestTime {
+				t.Errorf("%q: sample ratio %.1f (%d cycles) beats chosen best (%d)",
+					d.Node, s.GPURatio, s.Cycles, d.BestTime)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no candidate recorded a sample curve")
+	}
+	// Default options record nothing.
+	plan2, err := Run(g, DefaultOptions(PolicyMDDP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range plan2.Decisions {
+		if len(d.Samples) != 0 {
+			t.Fatal("samples recorded without KeepSamples")
+		}
+	}
+}
+
+// Integration breadth: every evaluated CNN compiles under every policy
+// into a graph that validates, with decisions covering every original
+// node.
+func TestCompileAllCNNsAllPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second integration sweep")
+	}
+	for _, m := range models.EvaluatedCNNs() {
+		g, err := models.Build(m, models.Options{Light: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range Policies() {
+			xg, plan, err := Compile(g, DefaultOptions(p))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m, p, err)
+			}
+			if err := xg.Validate(); err != nil {
+				t.Fatalf("%s/%s: transformed graph invalid: %v", m, p, err)
+			}
+			if len(plan.Decisions) != len(g.Nodes) {
+				t.Fatalf("%s/%s: %d decisions for %d nodes", m, p, len(plan.Decisions), len(g.Nodes))
+			}
+			rep, err := runtime.Execute(xg, DefaultOptions(p).RuntimeConfig())
+			if err != nil {
+				t.Fatalf("%s/%s: execute: %v", m, p, err)
+			}
+			if rep.TotalCycles <= 0 {
+				t.Fatalf("%s/%s: empty schedule", m, p)
+			}
+		}
+	}
+}

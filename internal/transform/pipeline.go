@@ -1,0 +1,223 @@
+package transform
+
+import (
+	"fmt"
+
+	"pimflow/internal/graph"
+)
+
+// elementwiseOps are single-input ops that pipeline chunks pass through
+// unchanged (activation functions between the convolutions of a pattern).
+var elementwiseOps = map[graph.OpType]bool{
+	graph.OpRelu: true, graph.OpClip: true, graph.OpSigmoid: true,
+	graph.OpSiLU: true, graph.OpGelu: true, graph.OpIdentity: true,
+}
+
+// PipelineChain rewrites a chain of consecutive nodes (the paper's
+// 1x1-DW / DW-1x1 / 1x1-DW-1x1 subgraph patterns, with activations in
+// between) into `stages` pipeline stage nodes per chain node. Chunk j of
+// node i+1 depends only on chunks 0..j of node i, so once the transformed
+// graph is scheduled on two device queues, the middle stages overlap:
+// while the PIM device computes chunk B of the first conv, the GPU already
+// processes chunk A through the depthwise conv (Fig 5, nodes 3(A)..4(B)).
+//
+// groupID tags the created nodes' Exec.Pipeline hints so the runtime and
+// reports can identify the subgraph.
+func PipelineChain(g *graph.Graph, names []string, stages, groupID int) error {
+	if len(names) < 2 {
+		return fmt.Errorf("transform: pipeline needs >= 2 nodes")
+	}
+	if stages < 2 {
+		return fmt.Errorf("transform: pipeline needs >= 2 stages")
+	}
+	chain := make([]*graph.Node, len(names))
+	for i, name := range names {
+		n := g.Node(name)
+		if n == nil {
+			return fmt.Errorf("transform: node %q not found", name)
+		}
+		chain[i] = n
+	}
+	// Validate chain structure: consecutive, single-consumer interior.
+	for i, n := range chain {
+		if n.Op != graph.OpConv && !elementwiseOps[n.Op] {
+			return fmt.Errorf("transform: node %q (%s) cannot pipeline", n.Name, n.Op)
+		}
+		out := g.Tensors[n.Outputs[0]]
+		if out == nil || !out.Shape.Valid() || len(out.Shape) != 4 {
+			return fmt.Errorf("transform: node %q output not NHWC with known shape", n.Name)
+		}
+		if i == len(chain)-1 {
+			continue
+		}
+		if chain[i+1].Inputs[0] != n.Outputs[0] {
+			return fmt.Errorf("transform: %q does not feed %q", n.Name, chain[i+1].Name)
+		}
+		cs := g.Consumers(n.Outputs[0])
+		if len(cs) != 1 {
+			return fmt.Errorf("transform: interior node %q has %d consumers", n.Name, len(cs))
+		}
+	}
+
+	// Compute cumulative chunk boundaries per node: bounds[i][j] is the
+	// number of output rows of chain node i finished after chunk j.
+	bounds := make([][]int, len(chain))
+	oh0 := g.Tensors[chain[0].Outputs[0]].Shape[1]
+	if oh0 < stages {
+		return fmt.Errorf("transform: first node has %d output rows < %d stages", oh0, stages)
+	}
+	bounds[0] = make([]int, stages)
+	for j := 0; j < stages; j++ {
+		bounds[0][j] = oh0 * (j + 1) / stages
+	}
+	for i := 1; i < len(chain); i++ {
+		n := chain[i]
+		oh := g.Tensors[n.Outputs[0]].Shape[1]
+		bounds[i] = make([]int, stages)
+		for j := 0; j < stages-1; j++ {
+			if n.Op == graph.OpConv {
+				p, err := graph.ConvParamsOf(n)
+				if err != nil {
+					return err
+				}
+				bounds[i][j] = outputRowsFromPrefix(bounds[i-1][j], p.StrideH, p.KernelH, p.PadT, oh)
+			} else {
+				bounds[i][j] = bounds[i-1][j]
+			}
+		}
+		bounds[i][stages-1] = oh
+		prev := 0
+		for j := 0; j < stages; j++ {
+			if bounds[i][j] <= prev {
+				return fmt.Errorf("transform: node %q chunk %d empty (bounds %v); pattern not pipelineable at %d stages",
+					n.Name, j, bounds[i], stages)
+			}
+			prev = bounds[i][j]
+		}
+	}
+
+	// Build replacement nodes chunk-major so dependencies appear in order.
+	var repl []*graph.Node
+	// chunkOut[i][j] is the tensor holding chunk j of chain node i.
+	chunkOut := make([][]string, len(chain))
+	// prefixOut[i][j] is the tensor holding rows [0, bounds[i][j]) of node
+	// i's output (a concat of chunks 0..j), created on demand.
+	prefixOut := make([][]string, len(chain))
+	for i := range chain {
+		chunkOut[i] = make([]string, stages)
+		prefixOut[i] = make([]string, stages)
+	}
+	attrsOf := func(base graph.Attrs) graph.Attrs { return base.Clone() }
+
+	for j := 0; j < stages; j++ {
+		for i, n := range chain {
+			o0 := 0
+			if j > 0 {
+				o0 = bounds[i][j-1]
+			}
+			o1 := bounds[i][j]
+			partName := fmt.Sprintf("%s_p%d", n.Name, j)
+			var inputTensor string
+			var part *graph.Node
+			if n.Op == graph.OpConv {
+				p, err := graph.ConvParamsOf(n)
+				if err != nil {
+					return err
+				}
+				var srcH int
+				var src string
+				if i == 0 {
+					src = n.Inputs[0]
+					srcH = g.Tensors[src].Shape[1]
+				} else {
+					// Rows available: prefix of node i-1 up to chunk j.
+					src = prefixFor(g, chain[i-1], chunkOut[i-1], prefixOut[i-1], j, &repl)
+					srcH = bounds[i-1][j]
+				}
+				in0, in1, pt, pb := rowRange(o0, o1, p.StrideH, p.KernelH, p.PadT, srcH)
+				sliceName := partName + "_slice"
+				slice := &graph.Node{
+					Name: sliceName, Op: graph.OpSlice,
+					Inputs:  []string{src},
+					Outputs: []string{sliceName + "_out"},
+					Attrs:   graph.NewAttrs(),
+				}
+				slice.Attrs.SetInts("axis", 1)
+				slice.Attrs.SetInts("start", in0)
+				slice.Attrs.SetInts("end", in1)
+				repl = append(repl, slice)
+				inputTensor = slice.Outputs[0]
+				part = n.Clone()
+				part.Attrs = attrsOf(n.Attrs)
+				part.Attrs.SetInts("pads", pt, p.PadL, pb, p.PadR)
+				part.Inputs = append([]string(nil), n.Inputs...)
+				part.Inputs[0] = inputTensor
+			} else {
+				// Elementwise: boundaries align with the producer chunk.
+				inputTensor = chunkOut[i-1][j]
+				part = n.Clone()
+				part.Attrs = attrsOf(n.Attrs)
+				part.Inputs = []string{inputTensor}
+			}
+			part.Name = partName
+			part.Outputs = []string{partName + "_out"}
+			dev := graph.DeviceGPU
+			if g.IsPIMCandidate(n) {
+				dev = graph.DevicePIM
+			}
+			part.Exec = graph.ExecHint{
+				Mode:   graph.ModePipeline,
+				Device: dev,
+				Pipeline: graph.PipelineHint{
+					GroupID: groupID, Stage: i, Part: j, Parts: stages,
+				},
+			}
+			part.Attrs.SetInts("pipeline", 1)
+			repl = append(repl, part)
+			chunkOut[i][j] = part.Outputs[0]
+		}
+	}
+	// Reassemble the chain's final output under its original name.
+	last := len(chain) - 1
+	finalConcat := &graph.Node{
+		Name: chain[last].Name + "_concat", Op: graph.OpConcat,
+		Inputs:  append([]string(nil), chunkOut[last]...),
+		Outputs: []string{chain[last].Outputs[0]},
+		Attrs:   graph.NewAttrs(),
+	}
+	finalConcat.Attrs.SetInts("axis", 1)
+	repl = append(repl, finalConcat)
+
+	if err := g.ReplaceNode(chain[0].Name, repl...); err != nil {
+		return err
+	}
+	for _, n := range chain[1:] {
+		g.RemoveNode(n.Name)
+	}
+	return g.InferShapes()
+}
+
+// prefixFor returns (creating if needed) the tensor that holds rows
+// [0, bounds[j]) of the given chain node's output: chunk 0 alone for j==0,
+// otherwise a concat of the previous prefix and chunk j.
+func prefixFor(g *graph.Graph, n *graph.Node, chunks, prefixes []string, j int, repl *[]*graph.Node) string {
+	if j == 0 {
+		prefixes[0] = chunks[0]
+		return chunks[0]
+	}
+	if prefixes[j] != "" {
+		return prefixes[j]
+	}
+	prev := prefixFor(g, n, chunks, prefixes, j-1, repl)
+	name := fmt.Sprintf("%s_prefix%d", n.Name, j)
+	c := &graph.Node{
+		Name: name, Op: graph.OpConcat,
+		Inputs:  []string{prev, chunks[j]},
+		Outputs: []string{name + "_out"},
+		Attrs:   graph.NewAttrs(),
+	}
+	c.Attrs.SetInts("axis", 1)
+	*repl = append(*repl, c)
+	prefixes[j] = c.Outputs[0]
+	return prefixes[j]
+}

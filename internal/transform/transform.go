@@ -1,0 +1,195 @@
+// Package transform implements PIMFlow's PIM-aware graph transformation
+// passes (paper §4.2.1):
+//
+//   - The multi-device parallelization pass splits one PIM-candidate node
+//     into a GPU part and a PIM part that execute the same operation on
+//     disjoint portions of the data (MD-DP execution mode).
+//   - The pipelining pass splits a chain of consecutive nodes into pipeline
+//     stage nodes whose middle stages overlap across GPU and PIM.
+//   - The memory-layout optimization pass (§4.3.2) marks the Slice, Concat,
+//     and Pad nodes those transformations introduce as elided: with NHWC
+//     batch-1 tensors allocated contiguously (outputs written at padded
+//     offsets), height-dimension slicing and concatenation are no-ops.
+//
+// All passes preserve graph semantics; the test suite verifies transformed
+// graphs against the reference interpreter on real tensors.
+package transform
+
+import (
+	"fmt"
+	"math"
+
+	"pimflow/internal/graph"
+	"pimflow/internal/tensor"
+)
+
+// rowRange computes, for a convolution with kernel k, stride s, and top
+// padding padT over an input of height h, the input row range and
+// effective paddings needed to produce output rows [o0, o1).
+func rowRange(o0, o1, s, k, padT, h int) (in0, in1, padTop, padBot int) {
+	lo := o0*s - padT
+	hi := (o1-1)*s - padT + k
+	in0 = lo
+	if in0 < 0 {
+		in0 = 0
+	}
+	in1 = hi
+	if in1 > h {
+		in1 = h
+	}
+	return in0, in1, in0 - lo, hi - in1
+}
+
+// outputRowsFromPrefix returns how many output rows of a convolution are
+// computable when only input rows [0, r) are available.
+func outputRowsFromPrefix(r, s, k, padT, oh int) int {
+	if r <= 0 {
+		return 0
+	}
+	// Output row oy needs input rows up to oy*s - padT + k (exclusive).
+	n := int(math.Floor(float64(r+padT-k)/float64(s))) + 1
+	if n < 0 {
+		n = 0
+	}
+	if n > oh {
+		n = oh
+	}
+	return n
+}
+
+// SplitMDDP rewrites the named PIM-candidate node into GPU and PIM halves
+// for multi-device data-parallel execution. gpuRatio in (0,1) is the
+// fraction of work assigned to the GPU (rounded to whole output rows for
+// convolutions, output features for Gemm). The producer's data is sliced,
+// both halves execute in parallel, and a Concat reassembles the output
+// under the original tensor name.
+func SplitMDDP(g *graph.Graph, nodeName string, gpuRatio float64) error {
+	n := g.Node(nodeName)
+	if n == nil {
+		return fmt.Errorf("transform: node %q not found", nodeName)
+	}
+	if !g.IsPIMCandidate(n) {
+		return fmt.Errorf("transform: node %q (%s) is not a PIM candidate", nodeName, n.Op)
+	}
+	if gpuRatio <= 0 || gpuRatio >= 1 {
+		return fmt.Errorf("transform: gpuRatio %v outside (0,1)", gpuRatio)
+	}
+	if n.Op == graph.OpGemm {
+		return splitGemm(g, n, gpuRatio)
+	}
+	return splitConv(g, n, gpuRatio)
+}
+
+func splitConv(g *graph.Graph, n *graph.Node, gpuRatio float64) error {
+	p, err := graph.ConvParamsOf(n)
+	if err != nil {
+		return err
+	}
+	in := g.Tensors[n.Inputs[0]]
+	out := g.Tensors[n.Outputs[0]]
+	if in == nil || !in.Shape.Valid() || out == nil || !out.Shape.Valid() {
+		return fmt.Errorf("transform: node %q shapes unknown (run InferShapes)", n.Name)
+	}
+	h := in.Shape[1]
+	oh := out.Shape[1]
+	oCut := int(math.Round(float64(oh) * gpuRatio))
+	if oCut < 1 || oCut >= oh {
+		return fmt.Errorf("transform: node %q: output height %d cannot split at ratio %v", n.Name, oh, gpuRatio)
+	}
+
+	mk := func(tag string, o0, o1 int, dev graph.Device) []*graph.Node {
+		in0, in1, pt, pb := rowRange(o0, o1, p.StrideH, p.KernelH, p.PadT, h)
+		sliceName := n.Name + "_slice_" + tag
+		slice := &graph.Node{
+			Name: sliceName, Op: graph.OpSlice,
+			Inputs:  []string{n.Inputs[0]},
+			Outputs: []string{sliceName + "_out"},
+			Attrs:   graph.NewAttrs(),
+		}
+		slice.Attrs.SetInts("axis", 1)
+		slice.Attrs.SetInts("start", in0)
+		slice.Attrs.SetInts("end", in1)
+		part := n.Clone()
+		part.Name = n.Name + "_" + tag
+		part.Inputs = append([]string(nil), n.Inputs...)
+		part.Inputs[0] = slice.Outputs[0]
+		part.Outputs = []string{part.Name + "_out"}
+		part.Attrs.SetInts("pads", pt, p.PadL, pb, p.PadR)
+		part.Attrs.SetInts("mddp", 1)
+		part.Exec = graph.ExecHint{Mode: graph.ModeMDDP, Device: dev, GPURatio: gpuRatio}
+		return []*graph.Node{slice, part}
+	}
+	a := mk("gpu", 0, oCut, graph.DeviceGPU)
+	b := mk("pim", oCut, oh, graph.DevicePIM)
+	concat := &graph.Node{
+		Name: n.Name + "_concat", Op: graph.OpConcat,
+		Inputs:  []string{a[1].Outputs[0], b[1].Outputs[0]},
+		Outputs: []string{n.Outputs[0]},
+		Attrs:   graph.NewAttrs(),
+	}
+	concat.Attrs.SetInts("axis", 1)
+	repl := append(append(a, b...), concat)
+	if err := g.ReplaceNode(n.Name, repl...); err != nil {
+		return err
+	}
+	return g.InferShapes()
+}
+
+func splitGemm(g *graph.Graph, n *graph.Node, gpuRatio float64) error {
+	w := g.Tensors[n.Inputs[1]]
+	if w == nil || !w.Shape.Valid() {
+		return fmt.Errorf("transform: gemm %q weight shape unknown", n.Name)
+	}
+	k, nOut := w.Shape[0], w.Shape[1]
+	cut := int(math.Round(float64(nOut) * gpuRatio))
+	if cut < 1 || cut >= nOut {
+		return fmt.Errorf("transform: gemm %q: %d features cannot split at ratio %v", n.Name, nOut, gpuRatio)
+	}
+	var bias *graph.TensorInfo
+	if len(n.Inputs) > 2 {
+		bias = g.Tensors[n.Inputs[2]]
+	}
+	mk := func(tag string, c0, c1 int, dev graph.Device) *graph.Node {
+		wName := fmt.Sprintf("%s_w_%s", n.Name, tag)
+		if w.Init != nil {
+			sub := tensor.New(k, c1-c0)
+			for i := 0; i < k; i++ {
+				copy(sub.Data[i*(c1-c0):], w.Init.Data[i*nOut+c0:i*nOut+c1])
+			}
+			g.AddWeight(wName, sub)
+		} else {
+			g.AddParam(wName, k, c1-c0)
+		}
+		part := n.Clone()
+		part.Name = n.Name + "_" + tag
+		part.Inputs = []string{n.Inputs[0], wName}
+		if bias != nil {
+			bName := fmt.Sprintf("%s_b_%s", n.Name, tag)
+			if bias.Init != nil {
+				sub := tensor.New(c1 - c0)
+				copy(sub.Data, bias.Init.Data[c0:c1])
+				g.AddWeight(bName, sub)
+			} else {
+				g.AddParam(bName, c1-c0)
+			}
+			part.Inputs = append(part.Inputs, bName)
+		}
+		part.Outputs = []string{part.Name + "_out"}
+		part.Attrs.SetInts("mddp", 1)
+		part.Exec = graph.ExecHint{Mode: graph.ModeMDDP, Device: dev, GPURatio: gpuRatio}
+		return part
+	}
+	a := mk("gpu", 0, cut, graph.DeviceGPU)
+	b := mk("pim", cut, nOut, graph.DevicePIM)
+	concat := &graph.Node{
+		Name: n.Name + "_concat", Op: graph.OpConcat,
+		Inputs:  []string{a.Outputs[0], b.Outputs[0]},
+		Outputs: []string{n.Outputs[0]},
+		Attrs:   graph.NewAttrs(),
+	}
+	concat.Attrs.SetInts("axis", 1)
+	if err := g.ReplaceNode(n.Name, a, b, concat); err != nil {
+		return err
+	}
+	return g.InferShapes()
+}

@@ -1,0 +1,205 @@
+// Package pimflow is an end-to-end compiler and runtime for CNN inference
+// on processing-in-memory (PIM) DRAM, reproducing "PIMFlow: Compiler and
+// Runtime Support for CNN Models on Processing-in-Memory DRAM" (CGO 2023).
+//
+// The library takes an ONNX-like model graph, searches per-layer execution
+// modes (full GPU, full PIM offload, multi-device data-parallel split, or
+// pipelined subgraphs), transforms the graph accordingly, generates
+// Newton/AiM-style PIM command traces for offloaded layers, and schedules
+// the result on a simulated GPU with PIM-enabled GDDR6 memory channels.
+//
+// Quickstart:
+//
+//	model, _ := pimflow.BuildModel("mobilenet-v2", pimflow.ModelOptions{Light: true})
+//	compiled, _ := pimflow.Compile(model, pimflow.DefaultConfig(pimflow.PolicyPIMFlow))
+//	report, _ := compiled.Run()
+//	fmt.Printf("inference: %.3f ms\n", report.Seconds*1e3)
+//
+// Hardware configuration, offloading policies (Baseline, Newton+,
+// Newton++, PIMFlow-md, PIMFlow-pl, PIMFlow), and the paper's experiment
+// harnesses (Experiments) are all exposed; see the examples directory.
+package pimflow
+
+import (
+	"fmt"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/energy"
+	"pimflow/internal/experiments"
+	"pimflow/internal/graph"
+	"pimflow/internal/interp"
+	"pimflow/internal/models"
+	"pimflow/internal/runtime"
+	"pimflow/internal/search"
+	"pimflow/internal/tensor"
+	"pimflow/internal/transform"
+)
+
+// Graph is a model computation graph (ONNX-like IR).
+type Graph = graph.Graph
+
+// GraphBuilder constructs custom model graphs layer by layer.
+type GraphBuilder = graph.Builder
+
+// Tensor is a dense float32 tensor.
+type Tensor = tensor.Tensor
+
+// Policy selects the offloading mechanism.
+type Policy = search.Policy
+
+// Offloading mechanisms, in increasing capability (paper §5).
+const (
+	PolicyBaseline       = search.PolicyBaseline
+	PolicyNewtonPlus     = search.PolicyNewtonPlus
+	PolicyNewtonPlusPlus = search.PolicyNewtonPlusPlus
+	PolicyMDDP           = search.PolicyMDDP
+	PolicyPipeline       = search.PolicyPipeline
+	PolicyPIMFlow        = search.PolicyPIMFlow
+)
+
+// Policies returns all offloading mechanisms in evaluation order.
+func Policies() []Policy { return search.Policies() }
+
+// Config is the compilation configuration: policy, hardware description,
+// and search parameters.
+type Config = search.Options
+
+// DefaultConfig returns the paper's configuration for a policy: a
+// 32-channel GDDR6 memory with 16 PIM-enabled channels, 10% split-ratio
+// search steps, and two pipeline stages.
+func DefaultConfig(p Policy) Config { return search.DefaultOptions(p) }
+
+// ModelOptions configures model-zoo construction.
+type ModelOptions = models.Options
+
+// ModelNames lists the built-in models (the artifact's -n values):
+// efficientnet-v1-b0, mnasnet-1.0, mobilenet-v2, resnet-50, vgg-16,
+// bert-base, toy.
+func ModelNames() []string { return models.Names() }
+
+// EvaluatedCNNs returns the five CNNs of the paper's main evaluation.
+func EvaluatedCNNs() []string { return models.EvaluatedCNNs() }
+
+// BuildModel constructs a built-in model by name.
+func BuildModel(name string, opts ModelOptions) (*Graph, error) {
+	return models.Build(name, opts)
+}
+
+// NewGraphBuilder starts a custom model with one NHWC input tensor.
+func NewGraphBuilder(name string, inputShape ...int) *GraphBuilder {
+	return graph.NewBuilder(name, inputShape...)
+}
+
+// Plan is the execution-mode search result (Algorithm 1).
+type Plan = search.Plan
+
+// Report is a simulated execution schedule with timing.
+type Report = runtime.Report
+
+// EnergyBreakdown reports inference energy by component.
+type EnergyBreakdown = energy.Breakdown
+
+// CompiledModel is a searched, transformed, and ready-to-execute model.
+type CompiledModel struct {
+	// Graph is the transformed graph with execution annotations.
+	Graph *Graph
+	// Plan records the per-layer decisions and pipeline choices.
+	Plan *Plan
+	// Config is the configuration the model was compiled under.
+	Config Config
+}
+
+// Compile runs the execution-mode and task-size search on the model and
+// applies the chosen transformations.
+func Compile(model *Graph, cfg Config) (*CompiledModel, error) {
+	g, plan, err := search.Compile(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledModel{Graph: g, Plan: plan, Config: cfg}, nil
+}
+
+// Run schedules the compiled model on the simulated GPU-PIM system and
+// returns the timing report.
+func (c *CompiledModel) Run() (*Report, error) {
+	return runtime.Execute(c.Graph, c.Config.RuntimeConfig())
+}
+
+// ApplyPlan transforms the model according to a previously computed plan
+// (e.g. one persisted as JSON by the CLI), skipping the search phase —
+// the artifact's "jump to Step 3" path.
+func ApplyPlan(model *Graph, plan *Plan) (*CompiledModel, error) {
+	g, err := search.Apply(model, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledModel{Graph: g, Plan: plan, Config: plan.Options}, nil
+}
+
+// Energy computes the energy of a report under the default energy model.
+func Energy(rep *Report) (EnergyBreakdown, error) {
+	return energy.OfReport(rep, energy.DefaultParams())
+}
+
+// Execute is a convenience wrapper: compile under the policy's default
+// configuration and run, returning the report.
+func Execute(model *Graph, p Policy) (*Report, error) {
+	c, err := Compile(model, DefaultConfig(p))
+	if err != nil {
+		return nil, err
+	}
+	return c.Run()
+}
+
+// Infer functionally executes a graph on an input tensor with the
+// reference interpreter (requires a model built with full weights, i.e.
+// ModelOptions.Light == false). Transformed graphs produce the same
+// outputs as their originals; the test suite relies on this.
+func Infer(g *Graph, input *Tensor) (*Tensor, error) {
+	return interp.RunSingle(g, input)
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// FoldBatchNorm folds inference-mode BatchNorm nodes into their preceding
+// convolutions — the standard ONNX preprocessing applied before PIM-aware
+// transformation. Returns the number of folded nodes.
+func FoldBatchNorm(g *Graph) (int, error) { return transform.FoldBatchNorm(g) }
+
+// LayerInfo summarizes one Conv/Gemm layer: lowered GEMM dimensions,
+// arithmetic work, and arithmetic intensity (the Fig 1 measure).
+type LayerInfo = codegen.LayerInfo
+
+// AnalyzeLayers returns a LayerInfo for every Conv and Gemm layer of the
+// model in topological order.
+func AnalyzeLayers(g *Graph) ([]LayerInfo, error) { return codegen.AnalyzeLayers(g) }
+
+// Experiment is a registered paper-figure harness.
+type Experiment = experiments.Runner
+
+// ExperimentResult is a regenerated table or figure.
+type ExperimentResult = experiments.Result
+
+// Experiments returns the harnesses that regenerate every table and
+// figure in the paper's evaluation.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID returns one experiment harness ("fig9", "table2", ...).
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// Summary formats a one-line comparison of a policy run against the GPU
+// baseline for the same model.
+func Summary(model *Graph, p Policy) (string, error) {
+	base, err := Execute(model, PolicyBaseline)
+	if err != nil {
+		return "", err
+	}
+	rep, err := Execute(model, p)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s: %s %.3f ms vs baseline %.3f ms (%.2fx)",
+		model.Name, p, rep.Seconds*1e3, base.Seconds*1e3,
+		float64(base.TotalCycles)/float64(rep.TotalCycles)), nil
+}

@@ -1,0 +1,184 @@
+package pimflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"pimflow"
+)
+
+func TestModelNamesAndBuild(t *testing.T) {
+	names := pimflow.ModelNames()
+	if len(names) < 7 {
+		t.Fatalf("only %d models registered", len(names))
+	}
+	for _, n := range names {
+		if _, err := pimflow.BuildModel(n, pimflow.ModelOptions{Light: true}); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := pimflow.BuildModel("nope", pimflow.ModelOptions{}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestCompileAndRunFacade(t *testing.T) {
+	model, err := pimflow.BuildModel("toy", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := pimflow.Compile(model, pimflow.DefaultConfig(pimflow.PolicyPIMFlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := compiled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles <= 0 || rep.Seconds <= 0 {
+		t.Fatalf("empty report %+v", rep)
+	}
+	e, err := pimflow.Energy(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Total() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestExecuteConvenience(t *testing.T) {
+	model, err := pimflow.BuildModel("toy", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pimflow.Execute(model, pimflow.PolicyNewtonPlusPlus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles <= 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestCustomGraphBuilderFacade(t *testing.T) {
+	b := pimflow.NewGraphBuilder("custom", 1, 8, 8, 4)
+	b.PointwiseConv(16).Relu()
+	b.GlobalAvgPool().Flatten().Gemm(3).Softmax()
+	model, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pimflow.NewTensor(1, 8, 8, 4)
+	in.FillRandom(1)
+	out, err := pimflow.Infer(model, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Data) != 3 {
+		t.Fatalf("output %v", out.Shape)
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := pimflow.Experiments()
+	if len(exps) != 16 {
+		t.Fatalf("%d experiments, want 16 (11 figures + 2 tables + 3 analyses)", len(exps))
+	}
+	if _, err := pimflow.ExperimentByID("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pimflow.ExperimentByID("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	model, err := pimflow.BuildModel("toy", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pimflow.Summary(model, pimflow.PolicyPIMFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "toy") || !strings.Contains(s, "PIMFlow") {
+		t.Fatalf("summary %q", s)
+	}
+}
+
+// Smoke-run the fast experiment harnesses end to end through the facade
+// (slow harnesses are covered by the benchmarks).
+func TestFastExperimentsProduceSeries(t *testing.T) {
+	for _, id := range []string{"fig1", "fig3", "fig8", "table1"} {
+		e, err := pimflow.ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if id != "table1" && len(res.Series) == 0 {
+			t.Errorf("%s: no series", id)
+		}
+		if !strings.Contains(res.Table(), res.ID) {
+			t.Errorf("%s: table missing id", id)
+		}
+	}
+}
+
+func TestAnalyzeLayersFacade(t *testing.T) {
+	model, err := pimflow.BuildModel("toy", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, err := pimflow.AnalyzeLayers(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != 5 {
+		t.Fatalf("%d layers, want 5", len(layers))
+	}
+}
+
+func TestApplyPlanFacade(t *testing.T) {
+	model, err := pimflow.BuildModel("toy", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := pimflow.Compile(model, pimflow.DefaultConfig(pimflow.PolicyPIMFlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reapplied, err := pimflow.ApplyPlan(model, compiled.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := compiled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := reapplied.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalCycles != r2.TotalCycles {
+		t.Fatalf("replayed plan differs: %d vs %d cycles", r1.TotalCycles, r2.TotalCycles)
+	}
+}
+
+func TestFoldBatchNormFacadeNoOp(t *testing.T) {
+	model, err := pimflow.BuildModel("mobilenet-v2", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zoo builds folded graphs already; folding must be a no-op.
+	n, err := pimflow.FoldBatchNorm(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("folded %d BNs in a pre-folded graph", n)
+	}
+}
