@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race vet fmt bench report ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
+
+# Regenerate the paper-evaluation report (must stay byte-identical to the
+# committed experiments_report.txt regardless of profile-cache warmth).
+report:
+	$(GO) run ./cmd/pimflow-experiments -out experiments_report.txt
+
+# The full gate: formatting, static analysis, and the test suite under
+# the race detector.
+ci: fmt vet race

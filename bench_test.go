@@ -10,13 +10,20 @@ import (
 	"pimflow"
 )
 
-// benchExperiment runs one registered harness per iteration.
+// benchExperiment runs one registered harness per iteration. Besides the
+// harness's headline metric it reports the shared profile cache's
+// activity over the timed loop: sims/op is the number of hardware
+// profiles actually simulated, cached/op the number answered from the
+// cache (across iterations and across previously-run benchmarks, since
+// all harnesses share one store).
 func benchExperiment(b *testing.B, id string, metric func(*pimflow.ExperimentResult) (string, float64)) {
 	b.Helper()
 	e, err := pimflow.ExperimentByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
+	cache := pimflow.ExperimentProfileCache()
+	before := cache.Stats()
 	var last *pimflow.ExperimentResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -27,6 +34,9 @@ func benchExperiment(b *testing.B, id string, metric func(*pimflow.ExperimentRes
 		last = res
 	}
 	b.StopTimer()
+	delta := cache.Stats().Sub(before)
+	b.ReportMetric(float64(delta.Misses)/float64(b.N), "sims/op")
+	b.ReportMetric(float64(delta.Saved())/float64(b.N), "cached/op")
 	if metric != nil && last != nil {
 		name, v := metric(last)
 		b.ReportMetric(v, name)
@@ -255,6 +265,33 @@ func BenchmarkSearchMobileNetV2(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSearchMobileNetV2Warm is the same search against a pre-warmed
+// profile store: every PIM trace simulation and GPU timing is recalled,
+// so the delta to BenchmarkSearchMobileNetV2 is the cost of profiling
+// itself (the win of persisting the cache across compiler runs).
+func BenchmarkSearchMobileNetV2Warm(b *testing.B) {
+	model, err := pimflow.BuildModel("mobilenet-v2", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := pimflow.DefaultConfig(pimflow.PolicyPIMFlow)
+	cfg.Profiles = pimflow.NewProfileStore()
+	if _, err := pimflow.Compile(model, cfg); err != nil { // warm the store
+		b.Fatal(err)
+	}
+	warmed := cfg.Profiles.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pimflow.Compile(model, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	delta := cfg.Profiles.Stats().Sub(warmed)
+	b.ReportMetric(float64(delta.Misses)/float64(b.N), "sims/op")
+	b.ReportMetric(float64(delta.Saved())/float64(b.N), "cached/op")
 }
 
 func BenchmarkRuntimeScheduleResNet50(b *testing.B) {

@@ -19,8 +19,9 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		out  = flag.String("out", "", "also write the report to this file")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		out      = flag.String("out", "", "also write the report to this file")
+		profFile = flag.String("profile-cache", "", "JSON profile-cache file: loaded before the harnesses run, saved after")
 	)
 	flag.Parse()
 	if *list {
@@ -42,9 +43,21 @@ func main() {
 			runners = append(runners, e)
 		}
 	}
+	cache := pimflow.ExperimentProfileCache()
+	if *profFile != "" {
+		n, err := cache.Load(*profFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile cache: loaded %d entries from %s\n", n, *profFile)
+	}
+	// Cache counters go to stdout only: the -out report must stay
+	// byte-identical whether or not a warm cache was supplied.
 	var report strings.Builder
 	for _, e := range runners {
 		start := time.Now()
+		before := cache.Stats()
 		res, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pimflow-experiments: %s: %v\n", e.ID, err)
@@ -52,9 +65,18 @@ func main() {
 		}
 		text := res.Table()
 		fmt.Print(text)
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		delta := cache.Stats().Sub(before)
+		fmt.Printf("(%s in %v; profile cache: %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond), delta)
 		report.WriteString(text)
 		report.WriteByte('\n')
+	}
+	fmt.Printf("profile cache totals: %s\n", cache.Stats())
+	if *profFile != "" {
+		if err := cache.Save(*profFile); err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile cache saved to %s\n", *profFile)
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report.String()), 0o644); err != nil {

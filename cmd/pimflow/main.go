@@ -37,12 +37,31 @@ func main() {
 		stages   = flag.Int("stages", 2, "pipeline stage count (paper: 2)")
 		refine   = flag.Bool("refine", false, "enable fine-grained ratio refinement (future-work auto-tuning)")
 		gantt    = flag.Bool("gantt", false, "print an ASCII device timeline after running (run mode)")
+		profFile = flag.String("profile-cache", "", "JSON profile-cache file: loaded before the run, saved after (the metadata log)")
 	)
 	flag.Parse()
 	custom := customization{ratioStep: *ratio, stages: *stages, refine: *refine, gantt: *gantt}
+	if *profFile != "" {
+		custom.profiles = pimflow.NewProfileStore()
+		n, err := custom.profiles.Load(*profFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow:", err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			fmt.Printf("profile cache: loaded %d entries from %s\n", n, *profFile)
+		}
+	}
 	if err := runWith(*mode, *kind, *net, *policy, *workdir, *gpuOnly, *pimCh, *timeline, custom); err != nil {
 		fmt.Fprintln(os.Stderr, "pimflow:", err)
 		os.Exit(1)
+	}
+	if custom.profiles != nil {
+		if err := custom.profiles.Save(*profFile); err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile cache: %s; saved to %s\n", custom.profiles.Stats(), *profFile)
 	}
 }
 
@@ -61,6 +80,9 @@ type customization struct {
 	stages    int
 	refine    bool
 	gantt     bool
+	// profiles, when set, backs the search with a persistent profile
+	// cache (-profile-cache).
+	profiles *pimflow.ProfileStore
 }
 
 func defaultCustomization() customization {
@@ -81,6 +103,7 @@ func configFor(policyName string, pimCh int, c customization) (pimflow.Config, e
 		cfg.PipelineStages = c.stages
 	}
 	cfg.RefineRatio = c.refine
+	cfg.Profiles = c.profiles
 	return cfg, nil
 }
 

@@ -53,10 +53,24 @@ func (g Granularity) String() string {
 // Workload describes one PIM-offloaded GEMM: M input vectors of length K
 // against a [K x N] weight matrix. Segments is the number of contiguous
 // memory segments each input vector gathers from (1 for FC and pointwise
-// conv; KH for a KHxKW conv patch in NHWC layout).
+// conv; KH for a KHxKW conv patch in NHWC layout). Groups is the grouped-
+// convolution multiplicity: the M/K/N dims describe ONE group's GEMM
+// (lower.ConvLowering's per-group convention) and the full layer executes
+// Groups such GEMMs back to back. Zero means 1, so plain workload
+// literals keep working.
 type Workload struct {
 	M, K, N  int
 	Segments int
+	Groups   int `json:",omitempty"`
+}
+
+// GroupCount returns the grouped-GEMM multiplicity, treating the zero
+// value as 1.
+func (w Workload) GroupCount() int {
+	if w.Groups < 1 {
+		return 1
+	}
+	return w.Groups
 }
 
 // Validate checks the workload.
@@ -271,13 +285,21 @@ func emitGWrite(ct *pim.ChannelTrace, w Workload, cfg pim.Config, opts Opts, u u
 
 // TimeWorkload generates the trace for the workload and simulates it,
 // returning the PIM timing statistics. This is the back-end's layer-time
-// primitive used by the execution-mode search.
+// primitive used by the execution-mode search. A grouped workload
+// (Groups > 1) simulates one group's GEMM and scales the result: the
+// groups are identical traces executed back to back.
 func TimeWorkload(w Workload, cfg pim.Config, opts Opts) (pim.Stats, error) {
+	groups := w.GroupCount()
+	w.Groups = 0
 	tr, err := Generate(w, cfg, opts)
 	if err != nil {
 		return pim.Stats{}, err
 	}
-	return pim.Simulate(cfg, tr)
+	st, err := pim.Simulate(cfg, tr)
+	if err != nil {
+		return pim.Stats{}, err
+	}
+	return st.Scale(int64(groups)), nil
 }
 
 func ceilDiv(a, b int) int {

@@ -17,8 +17,12 @@ import (
 // double counting across channels, K-chunks, or output groups.
 //
 // inputs is the [M x K] activation matrix; weights is [K x N]. Returns
-// the [M x N] product.
+// the [M x N] product. Grouped workloads execute one group per call: pass
+// the per-group matrices and Groups unset.
 func Execute(w Workload, inputs, weights *tensor.Tensor, cfg pim.Config, opts Opts) (*tensor.Tensor, error) {
+	if w.GroupCount() > 1 {
+		return nil, fmt.Errorf("codegen: Execute takes per-group matrices; set Groups to 0/1 and call once per group")
+	}
 	if !inputs.Shape.Equal(tensor.Shape{w.M, w.K}) {
 		return nil, fmt.Errorf("codegen: inputs shape %v, want [%d %d]", inputs.Shape, w.M, w.K)
 	}

@@ -12,6 +12,8 @@ import (
 // (Conv except depthwise, or Gemm). For convolutions, Segments is the
 // kernel height: each im2col patch gathers KH contiguous NHWC row
 // segments, which the strided-GWRITE extension transfers in one command.
+// Grouped (non-depthwise) convolutions lower to Groups per-group GEMMs
+// sharing one workload description (lower.ConvLowering's per-group dims).
 func NodeWorkload(g *graph.Graph, n *graph.Node) (Workload, error) {
 	switch n.Op {
 	case graph.OpConv:
@@ -22,9 +24,6 @@ func NodeWorkload(g *graph.Graph, n *graph.Node) (Workload, error) {
 		if err != nil {
 			return Workload{}, err
 		}
-		if p.Group != 1 {
-			return Workload{}, fmt.Errorf("codegen: grouped conv %q unsupported on PIM", n.Name)
-		}
 		in := g.Tensors[n.Inputs[0]]
 		w := g.Tensors[n.Inputs[1]]
 		if in == nil || !in.Shape.Valid() || w == nil || !w.Shape.Valid() {
@@ -34,7 +33,7 @@ func NodeWorkload(g *graph.Graph, n *graph.Node) (Workload, error) {
 		if err != nil {
 			return Workload{}, err
 		}
-		return Workload{M: l.Dims.M, K: l.Dims.K, N: l.Dims.N, Segments: p.KernelH}, nil
+		return Workload{M: l.Dims.M, K: l.Dims.K, N: l.Dims.N, Segments: p.KernelH, Groups: l.Groups}, nil
 	case graph.OpGemm:
 		in := g.Tensors[n.Inputs[0]]
 		w := g.Tensors[n.Inputs[1]]

@@ -14,9 +14,31 @@ import (
 	"pimflow/internal/energy"
 	"pimflow/internal/graph"
 	"pimflow/internal/models"
+	"pimflow/internal/profcache"
 	"pimflow/internal/runtime"
 	"pimflow/internal/search"
 )
+
+// sharedProfiles is the store every harness shares, the cross-run
+// incarnation of the paper's metadata log: Newton++, MD-DP, Pipeline and
+// PIMFlow run identical PIM configurations, and every PIM policy shares
+// the 16-channel GPU configuration, so the 6-policy × 5-model sweeps
+// re-request mostly identical layer profiles. Profiles are content-keyed
+// (see profcache), so sharing one store across differing configurations
+// (Newton+, Baseline, channel sweeps) is always safe.
+var sharedProfiles = profcache.New()
+
+// ProfileCache exposes the shared store so drivers can persist it with
+// -profile-cache and report its counters.
+func ProfileCache() *profcache.Store { return sharedProfiles }
+
+// options returns the paper-default search options for a policy, wired to
+// the shared profile store.
+func options(p search.Policy) search.Options {
+	o := search.DefaultOptions(p)
+	o.Profiles = sharedProfiles
+	return o
+}
 
 // Series is one named sequence of (label, value) points.
 type Series struct {
@@ -117,7 +139,7 @@ func buildModel(name string) (*graph.Graph, error) {
 // executePolicy compiles the model under the policy and executes it,
 // returning the report and the plan.
 func executePolicy(g *graph.Graph, p search.Policy) (*runtime.Report, *search.Plan, error) {
-	opts := search.DefaultOptions(p)
+	opts := options(p)
 	xg, plan, err := search.Compile(g, opts)
 	if err != nil {
 		return nil, nil, err

@@ -28,7 +28,7 @@ func Prelim() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err := search.Run(g, search.DefaultOptions(search.PolicyNewtonPlusPlus))
+		plan, err := search.Run(g, options(search.PolicyNewtonPlusPlus))
 		if err != nil {
 			return nil, err
 		}
@@ -65,7 +65,7 @@ func DiscussionArea() (*Result, error) {
 		Title:       "Area overhead of the PIM-enabled GPU memory (paper §7)",
 		Description: "CACTI-style estimates of the added structures.",
 	}
-	opts := search.DefaultOptions(search.PolicyPIMFlow)
+	opts := options(search.PolicyPIMFlow)
 	cfg := opts.RuntimeConfig()
 	a, err := overhead.EstimateArea(cfg.PIM, opts.TotalChannels, overhead.DefaultAreaParams())
 	if err != nil {
@@ -97,7 +97,7 @@ func DiscussionContention() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts := search.DefaultOptions(search.PolicyPIMFlow)
+		opts := options(search.PolicyPIMFlow)
 		xg, _, err := search.Compile(g, opts)
 		if err != nil {
 			return nil, err

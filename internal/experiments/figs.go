@@ -24,7 +24,7 @@ func Fig1() (*Result, error) {
 		Description: "Fractions of end-to-end GPU time per layer class; " +
 			"intensity = MACs / (input+weight+output elements).",
 	}
-	cfg := search.DefaultOptions(search.PolicyBaseline).RuntimeConfig()
+	cfg := options(search.PolicyBaseline).RuntimeConfig()
 	for _, m := range models.EvaluatedCNNs() {
 		g, err := buildModel(m)
 		if err != nil {
@@ -120,6 +120,7 @@ func Fig3() (*Result, error) {
 		for i, ch := range channels {
 			cfg := runtime.DefaultConfig()
 			cfg.GPU = gpu.DefaultConfig().WithChannels(ch)
+			cfg.Profiles = sharedProfiles
 			rep, err := runtime.Execute(g, cfg)
 			if err != nil {
 				return nil, err
@@ -229,12 +230,12 @@ func Fig10() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseOpts := search.DefaultOptions(search.PolicyBaseline)
+	baseOpts := options(search.PolicyBaseline)
 	baseRep, err := runtime.Execute(g, baseOpts.RuntimeConfig())
 	if err != nil {
 		return nil, err
 	}
-	opts := search.DefaultOptions(search.PolicyMDDP)
+	opts := options(search.PolicyMDDP)
 	xg, plan, err := search.Compile(g, opts)
 	if err != nil {
 		return nil, err
@@ -313,7 +314,7 @@ func Fig11() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err := search.Run(g, search.DefaultOptions(search.PolicyPIMFlow))
+		plan, err := search.Run(g, options(search.PolicyPIMFlow))
 		if err != nil {
 			return nil, err
 		}
@@ -426,7 +427,7 @@ func Fig13() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		baseOpts := search.DefaultOptions(search.PolicyBaseline)
+		baseOpts := options(search.PolicyBaseline)
 		baseRep, err := runtime.Execute(g, baseOpts.RuntimeConfig())
 		if err != nil {
 			return nil, err
@@ -434,7 +435,7 @@ func Fig13() (*Result, error) {
 		for _, pol := range []search.Policy{search.PolicyNewtonPlusPlus, search.PolicyPIMFlow} {
 			vals := make([]float64, len(pimChannels))
 			for i, pc := range pimChannels {
-				opts := search.DefaultOptions(pol)
+				opts := options(pol)
 				opts.PIMChannels = pc
 				xg, _, err := search.Compile(g, opts)
 				if err != nil {
@@ -490,7 +491,7 @@ func Fig14() (*Result, error) {
 		var base float64
 		vals := make([]float64, len(variants))
 		for i, v := range variants {
-			opts := search.DefaultOptions(search.PolicyNewtonPlusPlus)
+			opts := options(search.PolicyNewtonPlusPlus)
 			opts.PIMBase.GlobalBufs = v.bufs
 			opts.PIMBase.GWriteLatencyHiding = v.hiding
 			xg, _, err := search.Compile(g, opts)
@@ -539,7 +540,7 @@ func Fig15() (*Result, error) {
 	var ref float64
 	for i, s := range stages {
 		labels[i] = fmt.Sprintf("%dst", s)
-		opts := search.DefaultOptions(search.PolicyPipeline)
+		opts := options(search.PolicyPipeline)
 		opts.PipelineStages = s
 		xg, _, err := search.Compile(g, opts)
 		if err != nil {
@@ -573,7 +574,7 @@ func Fig16() (*Result, error) {
 	// BERT: Newton++ vs PIMFlow at both sequence lengths.
 	for _, seq := range []int{3, 64} {
 		g := models.BERT(models.Options{Light: true, SeqLen: seq})
-		baseOpts := search.DefaultOptions(search.PolicyBaseline)
+		baseOpts := options(search.PolicyBaseline)
 		baseRep, err := runtime.Execute(g, baseOpts.RuntimeConfig())
 		if err != nil {
 			return nil, err
@@ -601,7 +602,7 @@ func Fig16() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		baseOpts := search.DefaultOptions(search.PolicyBaseline)
+		baseOpts := options(search.PolicyBaseline)
 		baseRep, err := runtime.Execute(g, baseOpts.RuntimeConfig())
 		if err != nil {
 			return nil, err
@@ -634,7 +635,7 @@ func Fig16() (*Result, error) {
 		wVals := make([]float64, len(widths))
 		for i, w := range widths {
 			g := fam.build(w)
-			baseOpts := search.DefaultOptions(search.PolicyBaseline)
+			baseOpts := options(search.PolicyBaseline)
 			baseRep, err := runtime.Execute(g, baseOpts.RuntimeConfig())
 			if err != nil {
 				return nil, err
@@ -686,7 +687,7 @@ func Table2() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		plan, err := search.Run(g, search.DefaultOptions(search.PolicyMDDP))
+		plan, err := search.Run(g, options(search.PolicyMDDP))
 		if err != nil {
 			return nil, err
 		}

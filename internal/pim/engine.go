@@ -17,6 +17,35 @@ type Stats struct {
 	BusyFraction float64
 }
 
+// Scale returns the stats multiplied by n, modeling n back-to-back runs of
+// the same trace (grouped convolutions execute one per-group GEMM trace
+// per group). Cycles, per-channel times, seconds, and command counts all
+// scale linearly; BusyFraction is an average and stays put.
+func (s Stats) Scale(n int64) Stats {
+	if n == 1 {
+		return s
+	}
+	out := s
+	out.Cycles *= n
+	out.Seconds *= float64(n)
+	out.PerChannel = make([]int64, len(s.PerChannel))
+	for i, c := range s.PerChannel {
+		out.PerChannel[i] = c * n
+	}
+	c := s.Counts
+	c.GWrites *= n
+	c.GActs *= n
+	c.Comps *= n
+	c.ReadRes *= n
+	c.ColIOs *= n
+	c.GWBursts *= n
+	c.RRBursts *= n
+	c.NewRows *= n
+	c.MACs *= n
+	out.Counts = c
+	return out
+}
+
 // channelState tracks one channel's in-order command queue timing.
 type channelState struct {
 	t            int64 // next command issue cycle

@@ -1,0 +1,59 @@
+package profcache
+
+import (
+	"fmt"
+	"strings"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/gpu"
+	"pimflow/internal/pim"
+)
+
+// Keys fingerprint the full workload plus every configuration field that
+// can change the measured result. Two runs produce the same key only when
+// the simulation they would perform is identical, so profiles are shared
+// between policies with identical device configs (e.g. Newton++ / MD-DP /
+// Pipeline / PIMFlow all use the same PIM feature set) and never leak
+// across differing ones. Field names are spelled out in the key so a
+// persisted file stays debuggable with a text editor.
+//
+// Deliberately excluded:
+//   - gpu.Kernel.Name: the roofline result depends only on the kernel's
+//     work terms, so identically-shaped layers at different graph
+//     positions share one entry.
+
+// PIMWorkloadKey identifies one codegen.TimeWorkload simulation. The
+// cached cycles are in the PIM clock domain; ClockGHz is still part of
+// the key so a config change never aliases (cycle counts happen to be
+// clock-invariant today, but the key schema should not encode that).
+func PIMWorkloadKey(w codegen.Workload, cfg pim.Config, opts codegen.Opts) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pim/m=%d,k=%d,n=%d,seg=%d,grp=%d", w.M, w.K, w.N, w.Segments, w.Groups)
+	fmt.Fprintf(&b, "|gran=%d,strided=%t", opts.Granularity, opts.StridedGWrite)
+	fmt.Fprintf(&b, "|ch=%d,banks=%d,colio=%d,colios=%d,gbuf=%d,nbuf=%d,mults=%d,burst=%d,clk=%g",
+		cfg.Channels, cfg.BanksPerChannel, cfg.ColumnIOBytes, cfg.ColumnIOsPerRow,
+		cfg.GlobalBufBytes, cfg.GlobalBufs, cfg.MultsPerBank, cfg.BurstBytes, cfg.ClockGHz)
+	fmt.Fprintf(&b, ",hide=%t,refresh=%t,pingpong=%t",
+		cfg.GWriteLatencyHiding, cfg.ModelRefresh, cfg.BankPingPong)
+	t := cfg.Timing
+	fmt.Fprintf(&b, "|tccdl=%d,trcd=%d,trp=%d,tcl=%d,tbl=%d,tras=%d,trefi=%d,trfc=%d",
+		t.TCCDL, t.TRCD, t.TRP, t.TCL, t.TBL, t.TRAS, t.TREFI, t.TRFC)
+	return b.String()
+}
+
+// GPUKernelKey identifies one gpu.Config.Time evaluation of a roofline
+// kernel. WinogradConvs and WriteBack shape the kernel during
+// NodeKernel construction, so they are already reflected in the kernel's
+// work terms; they are included anyway to keep the fingerprint a plain
+// enumeration of the config rather than a claim about the model's
+// internals.
+func GPUKernelKey(k gpu.Kernel, cfg gpu.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gpu/flops=%d,bytes=%d,ceff=%g,meff=%g",
+		k.FLOPs, k.DRAMBytes, k.ComputeEff, k.MemEff)
+	fmt.Fprintf(&b, "|sms=%d,fmas=%d,clk=%g,ch=%d,bpc=%g,l2=%d,launch=%d,winograd=%t,wb=%t",
+		cfg.SMs, cfg.FMAsPerSMPerCycle, cfg.ClockGHz, cfg.MemChannels,
+		cfg.BytesPerCyclePerChannel, cfg.L2Bytes, cfg.LaunchOverheadCycles,
+		cfg.WinogradConvs, cfg.WriteBack)
+	return b.String()
+}

@@ -18,11 +18,13 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 
 	"pimflow/internal/codegen"
 	"pimflow/internal/gpu"
 	"pimflow/internal/graph"
 	"pimflow/internal/pim"
+	"pimflow/internal/profcache"
 )
 
 // Config describes the simulated heterogeneous system.
@@ -38,8 +40,30 @@ type Config struct {
 	// InterconnectBytesPerCycle is the memory-network bandwidth between
 	// channel groups used for PIM->GPU result movement.
 	InterconnectBytesPerCycle float64
-	// SyncOverheadCycles is charged once per cross-device dependency edge.
+	// SyncOverheadCycles is charged once per cross-device dependency edge
+	// and once at each zero-cost junction that merges results from both
+	// devices (the MD-DP concat).
 	SyncOverheadCycles int64
+	// Profiles optionally caches per-node device timings across Execute
+	// calls (and across the search, which shares the same store). Nil
+	// disables caching. Not part of the configuration fingerprint.
+	Profiles *profcache.Store `json:"-"`
+}
+
+// PIMCycleScale returns the factor converting PIM-clock cycles into
+// GPU-clock cycles. The report's timeline is kept in the GPU clock
+// domain, so PIM durations are scaled by ClockGHz(GPU)/ClockGHz(PIM)
+// before they are compared or summed with GPU times.
+func (c Config) PIMCycleScale() float64 {
+	return c.GPU.ClockGHz / c.PIM.ClockGHz
+}
+
+// pimCyclesToGPU converts a PIM-domain cycle count to GPU-domain cycles.
+func (c Config) pimCyclesToGPU(cycles int64) int64 {
+	if c.GPU.ClockGHz == c.PIM.ClockGHz {
+		return cycles
+	}
+	return int64(math.Round(float64(cycles) * c.PIMCycleScale()))
 }
 
 // DefaultConfig returns the paper's 16+16 channel PIM-enabled GPU memory
@@ -77,7 +101,10 @@ type NodeReport struct {
 	Op     graph.OpType
 	Device graph.Device
 	Mode   graph.ExecMode
-	// Start and End are cycle timestamps; Elided nodes have Start == End.
+	// Start and End are cycle timestamps in the GPU clock domain (PIM
+	// node durations are converted via Config.PIMCycleScale). Elided
+	// nodes have Start == End unless they merge both devices' results,
+	// in which case they carry the one-time synchronization latency.
 	Start, End int64
 	Elided     bool
 	// FLOPs and DRAMBytes describe the work (GPU nodes).
@@ -219,27 +246,42 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 		if zeroCost(n) || fused {
 			start, end = ready, ready
 			nr.Elided = true
+			// A zero-cost junction that merges results produced on both
+			// devices (the MD-DP / pipeline concat) still synchronizes
+			// them once. This is the same single SyncOverheadCycles charge
+			// the search's profiler models for a split layer, keeping the
+			// two cost models aligned.
+			if zeroCost(n) && mergesDevices(n, producerOf, deviceOf) {
+				end = ready + cfg.SyncOverheadCycles
+				nr.MoveCycles += cfg.SyncOverheadCycles
+				moveCycles += cfg.SyncOverheadCycles
+			}
 		} else if dev == graph.DevicePIM {
-			st, err := codegen.TimeNode(g, n, cfg.PIM, cfg.Codegen)
+			w, err := codegen.NodeWorkload(g, n)
 			if err != nil {
 				return nil, fmt.Errorf("runtime: PIM node %q: %w", n.Name, err)
 			}
+			prof, err := timePIM(w, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: PIM node %q: %w", n.Name, err)
+			}
+			cycles := cfg.pimCyclesToGPU(prof.Cycles)
 			start = max64(ready, pimFree)
-			end = start + st.Cycles
+			end = start + cycles
 			pimFree = end
-			rep.PIMBusy += st.Cycles
-			nr.PIMCounts = st.Counts
+			rep.PIMBusy += cycles
+			nr.PIMCounts = prof.Counts
 		} else {
-			res, err := gpu.TimeNode(g, n, cfg.GPU)
+			cycles, k, err := timeGPU(g, n, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("runtime: GPU node %q: %w", n.Name, err)
 			}
 			start = max64(ready, gpuFree)
-			end = start + res.Cycles
+			end = start + cycles
 			gpuFree = end
-			rep.GPUBusy += res.Cycles
-			nr.FLOPs = res.FLOPs
-			nr.DRAMBytes = res.DRAMBytes
+			rep.GPUBusy += cycles
+			nr.FLOPs = k.FLOPs
+			nr.DRAMBytes = k.DRAMBytes
 		}
 		nr.Start, nr.End = start, end
 		finish[n] = end
@@ -250,8 +292,71 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 			rep.TotalCycles = end
 		}
 	}
+	// The timeline is in GPU-clock cycles throughout (PIM durations were
+	// scaled by PIMCycleScale), so the GPU clock alone converts to time.
 	rep.Seconds = float64(rep.TotalCycles) / (cfg.GPU.ClockGHz * 1e9)
 	return rep, nil
+}
+
+// mergesDevices reports whether a node's direct producers span more than
+// one device — the signature of an MD-DP or pipeline merge point.
+func mergesDevices(n *graph.Node, producerOf map[string]*graph.Node, deviceOf map[*graph.Node]graph.Device) bool {
+	var seen [2]bool
+	distinct := 0
+	for _, in := range n.Inputs {
+		p, ok := producerOf[in]
+		if !ok {
+			continue
+		}
+		d := 0
+		if deviceOf[p] == graph.DevicePIM {
+			d = 1
+		}
+		if !seen[d] {
+			seen[d] = true
+			distinct++
+		}
+	}
+	return distinct > 1
+}
+
+// timePIM simulates — or recalls from the profile store — one PIM
+// workload, returning cycles in the PIM clock domain plus the command
+// counts the energy model consumes.
+func timePIM(w codegen.Workload, cfg Config) (profcache.Profile, error) {
+	compute := func() (profcache.Profile, error) {
+		st, err := codegen.TimeWorkload(w, cfg.PIM, cfg.Codegen)
+		if err != nil {
+			return profcache.Profile{}, err
+		}
+		return profcache.Profile{Cycles: st.Cycles, Counts: st.Counts}, nil
+	}
+	if cfg.Profiles == nil {
+		return compute()
+	}
+	return cfg.Profiles.Do(profcache.PIMWorkloadKey(w, cfg.PIM, cfg.Codegen), compute)
+}
+
+// timeGPU evaluates — or recalls from the profile store — the GPU
+// roofline for one node, returning cycles plus the kernel description
+// (whose work terms feed the report regardless of a cache hit).
+func timeGPU(g *graph.Graph, n *graph.Node, cfg Config) (int64, gpu.Kernel, error) {
+	k, err := gpu.NodeKernel(g, n, cfg.GPU)
+	if err != nil {
+		return 0, k, err
+	}
+	if cfg.Profiles == nil {
+		res, err := cfg.GPU.Time(k)
+		return res.Cycles, k, err
+	}
+	p, err := cfg.Profiles.Do(profcache.GPUKernelKey(k, cfg.GPU), func() (profcache.Profile, error) {
+		res, err := cfg.GPU.Time(k)
+		if err != nil {
+			return profcache.Profile{}, err
+		}
+		return profcache.Profile{Cycles: res.Cycles}, nil
+	})
+	return p.Cycles, k, err
 }
 
 func max64(a, b int64) int64 {

@@ -5,6 +5,7 @@ import (
 
 	"pimflow/internal/graph"
 	"pimflow/internal/models"
+	"pimflow/internal/profcache"
 	"pimflow/internal/transform"
 )
 
@@ -247,6 +248,80 @@ func TestExecuteDeterministic(t *testing.T) {
 	}
 	if r1.TotalCycles != r2.TotalCycles {
 		t.Fatalf("nondeterministic: %d vs %d", r1.TotalCycles, r2.TotalCycles)
+	}
+}
+
+// TestExecutePIMClockDomain is the regression test for the mixed clock
+// domains: the report timeline is in GPU cycles, so a PIM node's duration
+// must scale with ClockGHz(GPU)/ClockGHz(PIM). The seed code summed raw
+// PIM-domain cycles into the GPU-domain timeline, so changing the PIM
+// clock left the schedule untouched.
+func TestExecutePIMClockDomain(t *testing.T) {
+	run := func(pimClock float64) int64 {
+		g := pointwiseGraph(t)
+		g.Nodes[0].Exec = graph.ExecHint{Mode: graph.ModeSerial, Device: graph.DevicePIM}
+		cfg := DefaultConfig()
+		cfg.PIM.ClockGHz = pimClock
+		rep, err := Execute(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.NodeByName(g.Nodes[0].Name).Duration()
+	}
+	base := DefaultConfig().GPU.ClockGHz
+	same := run(base)       // PIM at GPU clock: durations pass through
+	halved := run(base / 2) // PIM at half clock: twice as many GPU cycles
+	if same <= 0 {
+		t.Fatalf("PIM node duration %d", same)
+	}
+	if diff := halved - 2*same; diff < -1 || diff > 1 {
+		t.Fatalf("halving the PIM clock scaled duration %d -> %d, want ~%d",
+			same, halved, 2*same)
+	}
+	cfg := DefaultConfig()
+	cfg.GPU.ClockGHz = 1.0
+	cfg.PIM.ClockGHz = 0.25
+	if got := cfg.pimCyclesToGPU(1000); got != 4000 {
+		t.Fatalf("pimCyclesToGPU(1000) at 4x ratio = %d, want 4000", got)
+	}
+	if got := cfg.PIMCycleScale(); got != 4.0 {
+		t.Fatalf("PIMCycleScale = %v, want 4", got)
+	}
+}
+
+// The profile cache stores raw PIM-domain cycles: two configs differing
+// only in clocks must not poison each other through a shared store.
+func TestExecuteSharedStoreAcrossClocks(t *testing.T) {
+	store := profcache.New()
+	run := func(pimClock float64) int64 {
+		g := pointwiseGraph(t)
+		g.Nodes[0].Exec = graph.ExecHint{Mode: graph.ModeSerial, Device: graph.DevicePIM}
+		cfg := DefaultConfig()
+		cfg.PIM.ClockGHz = pimClock
+		cfg.Profiles = store
+		rep, err := Execute(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.NodeByName(g.Nodes[0].Name).Duration()
+	}
+	clk := DefaultConfig().PIM.ClockGHz
+	cold := run(clk)
+	st := store.Stats()
+	if st.Misses == 0 {
+		t.Fatal("first run did not populate the store")
+	}
+	warm := run(clk)
+	if warm != cold {
+		t.Fatalf("cached rerun changed duration: %d vs %d", warm, cold)
+	}
+	if s := store.Stats(); s.Hits == 0 {
+		t.Error("second run did not hit the store")
+	}
+	// A different clock keys differently; the scaled result must differ.
+	other := run(clk / 2)
+	if other == cold {
+		t.Fatal("clock change did not change the cached timing")
 	}
 }
 

@@ -3,66 +3,88 @@ package search
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"pimflow/internal/codegen"
 	"pimflow/internal/gpu"
 	"pimflow/internal/graph"
 	"pimflow/internal/lower"
+	"pimflow/internal/profcache"
 	"pimflow/internal/runtime"
 	"pimflow/internal/transform"
 )
 
-// profiler measures layer execution times on the simulated hardware,
-// caching PIM trace simulations by workload (the paper stores search
-// results in a metadata log for reuse across compilations). It is safe
-// for concurrent use: Run profiles independent layers in parallel.
+// profiler measures layer execution times on the simulated hardware
+// through a profcache.Store (the paper's metadata log): PIM trace
+// simulations and GPU roofline evaluations are content-keyed, deduplicated
+// while in flight, and — when Options.Profiles supplies a shared store —
+// reused across Run calls and policies. It is safe for concurrent use:
+// Run profiles independent layers in parallel. All returned times are in
+// the GPU clock domain.
 type profiler struct {
-	opts Options
-	rt   runtime.Config
-
-	mu      sync.Mutex
-	pimTime map[string]int64
+	opts  Options
+	rt    runtime.Config
+	store *profcache.Store
 }
 
 func newProfiler(opts Options) *profiler {
-	return &profiler{opts: opts, rt: opts.RuntimeConfig(), pimTime: map[string]int64{}}
-}
-
-func (p *profiler) pimKey(w codegen.Workload) string {
-	c := p.rt.PIM
-	return fmt.Sprintf("%d.%d.%d.%d|%d.%d.%v.%d.%v",
-		w.M, w.K, w.N, w.Segments,
-		c.Channels, c.GlobalBufs, c.GWriteLatencyHiding,
-		p.rt.Codegen.Granularity, p.rt.Codegen.StridedGWrite)
-}
-
-// pimWorkload times a PIM GEMM workload (cached).
-func (p *profiler) pimWorkload(w codegen.Workload) (int64, error) {
-	key := p.pimKey(w)
-	p.mu.Lock()
-	if t, ok := p.pimTime[key]; ok {
-		p.mu.Unlock()
-		return t, nil
+	rt := opts.RuntimeConfig()
+	store := rt.Profiles
+	if store == nil {
+		// Private per-Run store; also handed to the runtime config so the
+		// pipeline profiler's Execute calls share it.
+		store = profcache.New()
+		rt.Profiles = store
 	}
-	p.mu.Unlock()
-	st, err := codegen.TimeWorkload(w, p.rt.PIM, p.rt.Codegen)
+	return &profiler{opts: opts, rt: rt, store: store}
+}
+
+// scalePIM converts PIM-clock cycles into the GPU clock domain the search
+// compares and sums in.
+func (p *profiler) scalePIM(cycles int64) int64 {
+	if p.rt.GPU.ClockGHz == p.rt.PIM.ClockGHz {
+		return cycles
+	}
+	return int64(math.Round(float64(cycles) * p.rt.PIMCycleScale()))
+}
+
+// pimWorkload times a PIM GEMM workload through the store, returning
+// GPU-domain cycles.
+func (p *profiler) pimWorkload(w codegen.Workload) (int64, error) {
+	prof, err := p.store.Do(profcache.PIMWorkloadKey(w, p.rt.PIM, p.rt.Codegen), func() (profcache.Profile, error) {
+		st, err := codegen.TimeWorkload(w, p.rt.PIM, p.rt.Codegen)
+		if err != nil {
+			return profcache.Profile{}, err
+		}
+		return profcache.Profile{Cycles: st.Cycles, Counts: st.Counts}, nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	p.mu.Lock()
-	p.pimTime[key] = st.Cycles
-	p.mu.Unlock()
-	return st.Cycles, nil
+	return p.scalePIM(prof.Cycles), nil
+}
+
+// gpuKernel times one roofline kernel through the store.
+func (p *profiler) gpuKernel(k gpu.Kernel) (int64, error) {
+	prof, err := p.store.Do(profcache.GPUKernelKey(k, p.rt.GPU), func() (profcache.Profile, error) {
+		res, err := p.rt.GPU.Time(k)
+		if err != nil {
+			return profcache.Profile{}, err
+		}
+		return profcache.Profile{Cycles: res.Cycles}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return prof.Cycles, nil
 }
 
 // gpuNode times a node on the GPU under the policy's channel count.
 func (p *profiler) gpuNode(g *graph.Graph, n *graph.Node) (int64, error) {
-	r, err := gpu.TimeNode(g, n, p.rt.GPU)
+	k, err := gpu.NodeKernel(g, n, p.rt.GPU)
 	if err != nil {
 		return 0, err
 	}
-	return r.Cycles, nil
+	return p.gpuKernel(k)
 }
 
 // pimNode times a whole node offloaded to PIM.
@@ -113,17 +135,19 @@ func (p *profiler) mddpConv(g *graph.Graph, n *graph.Node, ratio float64) (int64
 		OutH:   oCut, OutW: ow,
 	}
 	gk := p.rt.GPU.ConvKernel(n.Name+"_gpu", inRows, in[2], in[3], gl)
-	gr, err := p.rt.GPU.Time(gk)
+	gt, err := p.gpuKernel(gk)
 	if err != nil {
 		return 0, err
 	}
-	// PIM half: remaining rows.
-	pw := codegen.Workload{M: (oh - oCut) * ow, K: gl.Dims.K, N: w[3], Segments: cp.KernelH}
+	// PIM half: remaining rows, in the same per-group convention as the
+	// GPU half (N is the per-group output-channel count; the Groups
+	// multiplicity scales the simulated trace).
+	pw := codegen.Workload{M: (oh - oCut) * ow, K: gl.Dims.K, N: w[3] / cp.Group, Segments: cp.KernelH, Groups: cp.Group}
 	pt, err := p.pimWorkload(pw)
 	if err != nil {
 		return 0, err
 	}
-	return max64(gr.Cycles, pt) + p.rt.SyncOverheadCycles, nil
+	return max64(gt, pt) + p.rt.SyncOverheadCycles, nil
 }
 
 func (p *profiler) mddpGemm(g *graph.Graph, n *graph.Node, ratio float64) (int64, error) {
@@ -135,7 +159,7 @@ func (p *profiler) mddpGemm(g *graph.Graph, n *graph.Node, ratio float64) (int64
 		return 0, fmt.Errorf("search: gemm %q cannot split %d features at %v", n.Name, nOut, ratio)
 	}
 	gk := p.rt.GPU.GemmKernel(n.Name+"_gpu", m, k, cut)
-	gr, err := p.rt.GPU.Time(gk)
+	gt, err := p.gpuKernel(gk)
 	if err != nil {
 		return 0, err
 	}
@@ -143,7 +167,7 @@ func (p *profiler) mddpGemm(g *graph.Graph, n *graph.Node, ratio float64) (int64
 	if err != nil {
 		return 0, err
 	}
-	return max64(gr.Cycles, pt) + p.rt.SyncOverheadCycles, nil
+	return max64(gt, pt) + p.rt.SyncOverheadCycles, nil
 }
 
 // extractChain builds a standalone graph containing the chain nodes (the

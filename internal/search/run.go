@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"math"
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,7 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 		return nil, err
 	}
 	prof := newProfiler(opts)
+	cacheBefore := prof.store.Stats()
 	plan := &Plan{Model: g.Name, Policy: opts.Policy, Options: opts}
 
 	// Unary activations following a conv/FC layer are free: the GPU
@@ -91,7 +93,15 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 						RatioSample{GPURatio: 0, Cycles: tPIM},
 						RatioSample{GPURatio: 1, Cycles: tGPU})
 				}
-				for r := opts.RatioStep; r < 1-opts.RatioStep/2; r += opts.RatioStep {
+				// Sweep exact grid points r = i*step: deriving each ratio
+				// from the integer index keeps the samples on-grid, where
+				// the accumulating form (r += step) drifts by ulps (e.g.
+				// 0.30000000000000004) and can add or drop a boundary step.
+				for i := 1; ; i++ {
+					r := float64(i) * opts.RatioStep
+					if r >= 1-opts.RatioStep/2 {
+						break
+					}
 					t, err := prof.mddp(g, n, r)
 					if err != nil {
 						continue // unsplittable at this ratio
@@ -109,9 +119,15 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 					if step <= 0 {
 						step = 0.02
 					}
-					lo := d.GPURatio - opts.RatioStep
-					hi := d.GPURatio + opts.RatioStep
-					for r := lo; r <= hi+step/2; r += step {
+					// Probe fine-grid offsets j*step within one coarse step
+					// of the best ratio, again index-derived.
+					span := int(math.Round(opts.RatioStep / step))
+					base := d.GPURatio
+					for j := -span; j <= span; j++ {
+						if j == 0 {
+							continue
+						}
+						r := base + float64(j)*step
 						if r <= 0 || r >= 1 {
 							continue
 						}
@@ -203,13 +219,20 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 		}
 	}
 	plan.TotalProfiled = dp[0]
+	plan.Cache = prof.store.Stats().Sub(cacheBefore)
 	return plan, nil
 }
 
 // forEachParallel runs f(0..n-1) on a bounded worker pool and returns the
-// first error.
+// first error. Once any call errors, no worker dispatches another index:
+// in-flight calls finish, the rest of the range is abandoned.
 func forEachParallel(n int, f func(i int) error) error {
-	workers := goruntime.NumCPU()
+	return forEachParallelN(n, goruntime.NumCPU(), f)
+}
+
+// forEachParallelN is forEachParallel with an explicit worker count, so
+// tests can exercise the parallel path on any machine.
+func forEachParallelN(n, workers int, f func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
@@ -226,17 +249,19 @@ func forEachParallel(n int, f func(i int) error) error {
 		mu       sync.Mutex
 		firstErr error
 		next     int64 = -1
+		stop     atomic.Bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
 				if err := f(i); err != nil {
+					stop.Store(true)
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err

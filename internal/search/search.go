@@ -15,6 +15,7 @@ import (
 	"pimflow/internal/gpu"
 	"pimflow/internal/graph"
 	"pimflow/internal/pim"
+	"pimflow/internal/profcache"
 	"pimflow/internal/runtime"
 	"pimflow/internal/transform"
 )
@@ -90,6 +91,12 @@ type Options struct {
 	// LayerDecision, for offline analysis of the search curves (the
 	// artifact's PIMFlow/layerwise profiling data).
 	KeepSamples bool
+	// Profiles optionally shares a profile store across Run calls (the
+	// paper's metadata log, §4.2.2): PIM trace simulations and GPU
+	// roofline timings are recalled instead of re-simulated whenever the
+	// workload and device configuration fingerprints match. Nil gives
+	// each Run a private store. Excluded from persisted plans.
+	Profiles *profcache.Store `json:"-"`
 }
 
 // DefaultOptions returns the paper's configuration for the given policy.
@@ -128,6 +135,7 @@ func (o Options) RuntimeConfig() runtime.Config {
 		cfg.Codegen = codegen.DefaultOpts()
 	}
 	cfg.PIM = p
+	cfg.Profiles = o.Profiles
 	return cfg
 }
 
@@ -206,6 +214,10 @@ type Plan struct {
 	// chosen partition (a lower bound on the scheduled time; the runtime
 	// overlap can beat it).
 	TotalProfiled int64
+	// Cache reports this Run's profile-store activity (hits, misses,
+	// singleflight-shared lookups) as a delta over the Run, so a shared
+	// store still yields per-compilation numbers.
+	Cache profcache.Stats
 }
 
 // DecisionFor returns the decision for a node name, or nil.

@@ -29,6 +29,7 @@ import (
 	"pimflow/internal/graph"
 	"pimflow/internal/interp"
 	"pimflow/internal/models"
+	"pimflow/internal/profcache"
 	"pimflow/internal/runtime"
 	"pimflow/internal/search"
 	"pimflow/internal/tensor"
@@ -92,6 +93,22 @@ func NewGraphBuilder(name string, inputShape ...int) *GraphBuilder {
 
 // Plan is the execution-mode search result (Algorithm 1).
 type Plan = search.Plan
+
+// ProfileStore is a content-keyed, concurrency-safe cache of hardware
+// profiles (the paper's metadata log, §4.2.2). Assign one to
+// Config.Profiles to reuse PIM trace simulations and GPU roofline timings
+// across compilations; Save/Load persist it as JSON between runs.
+type ProfileStore = profcache.Store
+
+// ProfileStats is a snapshot of a ProfileStore's hit/miss/shared counters.
+type ProfileStats = profcache.Stats
+
+// NewProfileStore returns an empty profile store.
+func NewProfileStore() *ProfileStore { return profcache.New() }
+
+// ExperimentProfileCache returns the shared store used by every
+// experiment harness, for persistence and reporting in drivers.
+func ExperimentProfileCache() *ProfileStore { return experiments.ProfileCache() }
 
 // Report is a simulated execution schedule with timing.
 type Report = runtime.Report
