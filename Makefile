@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench report ci
+.PHONY: build test race vet fmt bench report cover ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,19 @@ bench:
 # committed experiments_report.txt regardless of profile-cache warmth).
 report:
 	$(GO) run ./cmd/pimflow-experiments -out experiments_report.txt
+
+# Coverage floor on the observability layer: instrumentation that is
+# nil-safe by contract is easy to leave silently untested, so the gate
+# fails if internal/obs statement coverage drops below the floor.
+OBS_COVER_FLOOR ?= 85.0
+
+cover:
+	$(GO) test -coverprofile=obs.cover.out ./internal/obs
+	@total="$$($(GO) tool cover -func=obs.cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	rm -f obs.cover.out; \
+	echo "internal/obs coverage: $$total% (floor $(OBS_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(OBS_COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage below floor"; exit 1; }
 
 # The full gate: formatting, static analysis, and the test suite under
 # the race detector.

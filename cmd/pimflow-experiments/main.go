@@ -22,8 +22,17 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		out      = flag.String("out", "", "also write the report to this file")
 		profFile = flag.String("profile-cache", "", "JSON profile-cache file: loaded before the harnesses run, saved after")
+		metrics  = flag.String("metrics", "", "write compiler/runtime metrics as JSON to this file")
+		verbose  = flag.Bool("v", false, "info-level structured logs on stderr")
+		vverbose = flag.Bool("vv", false, "debug-level structured logs on stderr")
 	)
 	flag.Parse()
+	switch {
+	case *vverbose:
+		pimflow.SetVerbosity(2)
+	case *verbose:
+		pimflow.SetVerbosity(1)
+	}
 	if *list {
 		for _, e := range pimflow.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
@@ -43,6 +52,11 @@ func main() {
 			runners = append(runners, e)
 		}
 	}
+	var mreg *pimflow.Metrics
+	if *metrics != "" {
+		mreg = pimflow.NewMetrics()
+		pimflow.SetExperimentMetrics(mreg)
+	}
 	cache := pimflow.ExperimentProfileCache()
 	if *profFile != "" {
 		n, err := cache.Load(*profFile)
@@ -54,14 +68,19 @@ func main() {
 	}
 	// Cache counters go to stdout only: the -out report must stay
 	// byte-identical whether or not a warm cache was supplied.
+	// A failing experiment does not abort the sweep: the remaining
+	// harnesses still run (and the report, cache, and metrics are still
+	// written), every failure is reported, and the exit status is nonzero.
 	var report strings.Builder
+	var failures []string
 	for _, e := range runners {
 		start := time.Now()
 		before := cache.Stats()
 		res, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pimflow-experiments: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			failures = append(failures, fmt.Sprintf("%s: %v", e.ID, err))
+			continue
 		}
 		text := res.Table()
 		fmt.Print(text)
@@ -84,5 +103,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("report written to %s\n", *out)
+	}
+	if mreg != nil {
+		f, err := os.Create(*metrics)
+		if err == nil {
+			err = mreg.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow-experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "pimflow-experiments: %d of %d experiments failed:\n", len(failures), len(runners))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -38,9 +39,25 @@ func main() {
 		refine   = flag.Bool("refine", false, "enable fine-grained ratio refinement (future-work auto-tuning)")
 		gantt    = flag.Bool("gantt", false, "print an ASCII device timeline after running (run mode)")
 		profFile = flag.String("profile-cache", "", "JSON profile-cache file: loaded before the run, saved after (the metadata log)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the compile+execute pipeline to this file (open in Perfetto or chrome://tracing)")
+		metrics  = flag.String("metrics", "", "write compiler/runtime metrics (counters, gauges, histograms) as JSON to this file")
+		verbose  = flag.Bool("v", false, "info-level structured logs on stderr")
+		vverbose = flag.Bool("vv", false, "debug-level structured logs on stderr")
 	)
 	flag.Parse()
+	switch {
+	case *vverbose:
+		pimflow.SetVerbosity(2)
+	case *verbose:
+		pimflow.SetVerbosity(1)
+	}
 	custom := customization{ratioStep: *ratio, stages: *stages, refine: *refine, gantt: *gantt}
+	if *traceOut != "" {
+		custom.trace = pimflow.NewTrace()
+	}
+	if *metrics != "" {
+		custom.metrics = pimflow.NewMetrics()
+	}
 	if *profFile != "" {
 		custom.profiles = pimflow.NewProfileStore()
 		n, err := custom.profiles.Load(*profFile)
@@ -63,6 +80,33 @@ func main() {
 		}
 		fmt.Printf("profile cache: %s; saved to %s\n", custom.profiles.Stats(), *profFile)
 	}
+	if custom.trace != nil {
+		if err := writeJSONFile(*traceOut, custom.trace.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d events; open in Perfetto)\n", *traceOut, custom.trace.Len())
+	}
+	if custom.metrics != nil {
+		if err := writeJSONFile(*metrics, custom.metrics.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+}
+
+// writeJSONFile streams an exporter into a freshly created file.
+func writeJSONFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parsePolicy(s string) (pimflow.Policy, error) {
@@ -83,6 +127,10 @@ type customization struct {
 	// profiles, when set, backs the search with a persistent profile
 	// cache (-profile-cache).
 	profiles *pimflow.ProfileStore
+	// trace/metrics, when set, collect observability data across every
+	// compile and execute of the invocation (-trace, -metrics).
+	trace   *pimflow.Trace
+	metrics *pimflow.Metrics
 }
 
 func defaultCustomization() customization {
@@ -104,6 +152,8 @@ func configFor(policyName string, pimCh int, c customization) (pimflow.Config, e
 	}
 	cfg.RefineRatio = c.refine
 	cfg.Profiles = c.profiles
+	cfg.Trace = c.trace
+	cfg.Metrics = c.metrics
 	return cfg, nil
 }
 
@@ -290,6 +340,11 @@ func doRun(model *pimflow.Graph, net, policyName, workdir string, gpuOnly bool, 
 		compiled, err = pimflow.ApplyPlan(model, plan)
 		if err == nil {
 			fmt.Printf("reusing plan from %s\n", planPath(workdir, net, policyName))
+			// Persisted plans drop the non-serializable fields; re-attach
+			// this invocation's store and observability sinks for the run.
+			compiled.Config.Profiles = c.profiles
+			compiled.Config.Trace = c.trace
+			compiled.Config.Metrics = c.metrics
 		}
 	}
 	if compiled == nil {

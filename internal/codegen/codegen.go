@@ -15,7 +15,9 @@ package codegen
 
 import (
 	"fmt"
+	"log/slog"
 
+	"pimflow/internal/obs"
 	"pimflow/internal/pim"
 )
 
@@ -299,7 +301,29 @@ func TimeWorkload(w Workload, cfg pim.Config, opts Opts) (pim.Stats, error) {
 	if err != nil {
 		return pim.Stats{}, err
 	}
-	return st.Scale(int64(groups)), nil
+	st = st.Scale(int64(groups))
+	if obs.Enabled(slog.LevelDebug) {
+		obs.L().Debug("codegen: simulated PIM workload",
+			"m", w.M, "k", w.K, "n", w.N, "segments", w.Segments, "groups", groups,
+			"channels", len(tr.Channels), "commands", tr.TotalCommands(),
+			"cycles", st.Cycles, "busy", st.BusyFraction)
+	}
+	return st, nil
+}
+
+// WorkloadEvents generates and simulates ONE group's trace of the
+// workload, returning the single-group stats plus the per-command
+// activity windows (PIM-clock cycles). Tracing layers use it to draw
+// per-channel command activity; grouped workloads (GroupCount > 1) repeat
+// the returned window back to back, which callers annotate rather than
+// materialize.
+func WorkloadEvents(w Workload, cfg pim.Config, opts Opts) (pim.Stats, []pim.CommandEvent, error) {
+	w.Groups = 0
+	tr, err := Generate(w, cfg, opts)
+	if err != nil {
+		return pim.Stats{}, nil, err
+	}
+	return pim.SimulateEvents(cfg, tr)
 }
 
 func ceilDiv(a, b int) int {

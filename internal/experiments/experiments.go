@@ -8,12 +8,14 @@ package experiments
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 
 	"pimflow/internal/energy"
 	"pimflow/internal/graph"
 	"pimflow/internal/models"
+	"pimflow/internal/obs"
 	"pimflow/internal/profcache"
 	"pimflow/internal/runtime"
 	"pimflow/internal/search"
@@ -32,11 +34,21 @@ var sharedProfiles = profcache.New()
 // -profile-cache and report its counters.
 func ProfileCache() *profcache.Store { return sharedProfiles }
 
+// sharedMetrics, when set by SetMetrics, is attached to every harness
+// compilation and execution so a driver can export one sweep-wide
+// metrics dump. It never influences the harness results themselves.
+var sharedMetrics *obs.Metrics
+
+// SetMetrics installs (or, with nil, removes) the metrics registry the
+// harnesses record into.
+func SetMetrics(m *obs.Metrics) { sharedMetrics = m }
+
 // options returns the paper-default search options for a policy, wired to
 // the shared profile store.
 func options(p search.Policy) search.Options {
 	o := search.DefaultOptions(p)
 	o.Profiles = sharedProfiles
+	o.Metrics = sharedMetrics
 	return o
 }
 
@@ -147,6 +159,11 @@ func executePolicy(g *graph.Graph, p search.Policy) (*runtime.Report, *search.Pl
 	rep, err := runtime.Execute(xg, opts.RuntimeConfig())
 	if err != nil {
 		return nil, nil, err
+	}
+	if obs.Enabled(slog.LevelDebug) {
+		obs.L().Debug("experiments: executed policy",
+			"model", g.Name, "policy", p.String(),
+			"totalCycles", rep.TotalCycles, "cache", plan.Cache.String())
 	}
 	return rep, plan, nil
 }

@@ -1,0 +1,20 @@
+// Package num holds tiny numeric helpers shared across the simulator
+// packages, so hot-path arithmetic is written once instead of as private
+// per-package copies.
+package num
+
+// Max64 returns the larger of a and b.
+func Max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min64 returns the smaller of a and b.
+func Min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,25 @@
+package num
+
+import "testing"
+
+func TestMax64(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{1, 2, 2}, {2, 1, 2}, {-5, -7, -5}, {0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Max64(c.a, c.b); got != c.want {
+			t.Errorf("Max64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMin64(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{1, 2, 1}, {2, 1, 1}, {-5, -7, -7}, {0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Min64(c.a, c.b); got != c.want {
+			t.Errorf("Min64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

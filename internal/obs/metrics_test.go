@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilMetricsIsSafe(t *testing.T) {
+	var m *Metrics
+	m.Inc("a")
+	m.Add("a", 5)
+	m.Set("g", 1)
+	m.Observe("h", 2)
+	if m.Counter("a") != 0 || m.Gauge("g") != 0 {
+		t.Error("nil metrics returned non-zero")
+	}
+	if s := m.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Error("nil metrics snapshot not empty")
+	}
+	if err := m.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("nil metrics WriteJSON should error")
+	}
+}
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("sims")
+	m.Add("sims", 2)
+	m.Set("busy", 0.75)
+	m.Set("busy", 0.5) // last write wins
+	for _, v := range []float64{1, 2, 3, 4} {
+		m.Observe("probes", v)
+	}
+	if got := m.Counter("sims"); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if got := m.Gauge("busy"); got != 0.5 {
+		t.Errorf("gauge = %v, want 0.5", got)
+	}
+	s := m.Snapshot()
+	h := s.Histograms["probes"]
+	if h.Count != 4 || h.Sum != 10 || h.Min != 1 || h.Max != 4 || h.Mean != 2.5 {
+		t.Errorf("histogram summary %+v", h)
+	}
+	// 1 -> <=2^0, 2 -> <=2^1, 3 and 4 -> <=2^2.
+	if h.Buckets["<=2^0"] != 1 || h.Buckets["<=2^1"] != 1 || h.Buckets["<=2^2"] != 2 {
+		t.Errorf("histogram buckets %v", h.Buckets)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, -1}, {-3, -1}, {0.5, -1}, {1, 0}, {2, 1}, {3, 2}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMetricsJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		m := NewMetrics()
+		m.Add("b", 2)
+		m.Add("a", 1)
+		m.Set("z", 3)
+		m.Observe("h", 7)
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one, two := build(), build()
+	if !bytes.Equal(one, two) {
+		t.Error("identical registries serialized differently")
+	}
+	var s Snapshot
+	if err := json.Unmarshal(one, &s); err != nil {
+		t.Fatalf("metrics dump is not valid JSON: %v", err)
+	}
+	if s.Counters["a"] != 1 || s.Counters["b"] != 2 || s.Gauges["z"] != 3 {
+		t.Errorf("round-trip mismatch: %+v", s)
+	}
+}
+
+func TestMetricsConcurrentUse(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Inc("n")
+				m.Observe("h", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("n"); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if h := m.Snapshot().Histograms["h"]; h.Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count)
+	}
+}
+
+func TestHistogramInfinityFreeOnEmpty(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("h", 5)
+	h := m.Snapshot().Histograms["h"]
+	if math.IsInf(h.Min, 0) || math.IsInf(h.Max, 0) {
+		t.Errorf("min/max not finite after observation: %+v", h)
+	}
+}

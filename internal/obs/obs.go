@@ -1,0 +1,85 @@
+// Package obs is the shared observability layer of the PIMFlow pipeline:
+// leveled structured logging (log/slog), span/event tracing exported as
+// Chrome trace-event JSON (loadable in chrome://tracing and Perfetto),
+// and a small metrics registry (counters, gauges, histograms).
+//
+// All three facilities are designed to cost nothing when disabled:
+//
+//   - The package logger defaults to a handler whose Enabled reports
+//     false for every level, so obs.L().Debug(...) returns after one
+//     dynamic dispatch; hot paths additionally guard with obs.Enabled
+//     so log arguments are never even evaluated.
+//   - Trace and Metrics are used through possibly-nil pointers: every
+//     method is nil-safe and returns immediately on a nil receiver, so
+//     instrumentation sites need no conditionals of their own.
+//
+// Benchmarks in this package pin the disabled-path cost (a few ns/op,
+// zero allocations); the runtime, search, and codegen instrumentation
+// relies on those guarantees.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// disabledHandler is a slog.Handler that reports every level disabled.
+// (log/slog gained a DiscardHandler only in Go 1.24; this repo's go.mod
+// targets 1.22, so we carry our own.)
+type disabledHandler struct{}
+
+func (disabledHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (disabledHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h disabledHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h disabledHandler) WithGroup(string) slog.Handler           { return h }
+
+// logger holds the package-level logger; loads are lock-free so L() can
+// sit on hot paths.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(disabledHandler{}))
+}
+
+// L returns the package-level logger. It is never nil; by default it is
+// fully disabled.
+func L() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the package-level logger. A nil logger restores the
+// disabled default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(disabledHandler{})
+	}
+	logger.Store(l)
+}
+
+// Enabled reports whether the package logger would emit at the level —
+// the guard hot paths use before building log arguments.
+func Enabled(level slog.Level) bool {
+	return L().Enabled(context.Background(), level)
+}
+
+// SetVerbosity installs a text-format stderr logger at a verbosity level
+// counted in -v flags: 0 disables logging entirely, 1 logs info and
+// above, 2 and higher logs debug and above.
+func SetVerbosity(v int) {
+	SetVerbosityWriter(v, os.Stderr)
+}
+
+// SetVerbosityWriter is SetVerbosity with an explicit destination, for
+// tests and embedders.
+func SetVerbosityWriter(v int, w io.Writer) {
+	if v <= 0 {
+		SetLogger(nil)
+		return
+	}
+	level := slog.LevelInfo
+	if v >= 2 {
+		level = slog.LevelDebug
+	}
+	SetLogger(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestDefaultLoggerDisabled(t *testing.T) {
+	SetLogger(nil)
+	if L() == nil {
+		t.Fatal("L() returned nil")
+	}
+	if Enabled(slog.LevelError) {
+		t.Error("default logger should be disabled at every level")
+	}
+}
+
+func TestSetVerbosityLevels(t *testing.T) {
+	defer SetLogger(nil)
+	var buf bytes.Buffer
+
+	SetVerbosityWriter(0, &buf)
+	if Enabled(slog.LevelInfo) {
+		t.Error("verbosity 0 should disable info")
+	}
+
+	SetVerbosityWriter(1, &buf)
+	if !Enabled(slog.LevelInfo) || Enabled(slog.LevelDebug) {
+		t.Error("verbosity 1 should enable info but not debug")
+	}
+
+	SetVerbosityWriter(2, &buf)
+	if !Enabled(slog.LevelDebug) {
+		t.Error("verbosity 2 should enable debug")
+	}
+
+	L().Info("hello", "k", "v")
+	if !strings.Contains(buf.String(), "hello") || !strings.Contains(buf.String(), "k=v") {
+		t.Errorf("log output missing record: %q", buf.String())
+	}
+}
+
+func TestSetLoggerRoundTrip(t *testing.T) {
+	defer SetLogger(nil)
+	var buf bytes.Buffer
+	SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+	L().Info("custom")
+	if !strings.Contains(buf.String(), "custom") {
+		t.Errorf("custom logger not installed: %q", buf.String())
+	}
+}
+
+// The disabled-path benchmarks pin the zero-cost contract: instrumentation
+// left in place must be free when observability is off.
+
+func BenchmarkDisabledLogger(b *testing.B) {
+	SetLogger(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Enabled(slog.LevelDebug) {
+			L().Debug("never", "i", i)
+		}
+	}
+}
+
+func BenchmarkNilTraceComplete(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.CompleteCycles(TIDGPU, "node", "Conv", int64(i), 10, nil)
+	}
+}
+
+func BenchmarkNilTraceSpan(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span("probe", "p", "search", nil)(nil)
+	}
+}
+
+func BenchmarkNilMetrics(b *testing.B) {
+	var m *Metrics
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Inc("count")
+		m.Observe("hist", float64(i))
+	}
+}

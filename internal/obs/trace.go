@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The trace is organized as Chrome trace-event "processes", one per time
+// domain, so the wall-clock compile phases and the simulated-cycle
+// execution timeline never share an axis:
+//
+//   - PIDTimeline holds simulated time. One cycle in the GPU clock domain
+//     maps to one nanosecond (ts is microseconds, so ts = cycles/1000).
+//     TIDGPU and TIDPIM are the two device queues; TIDChannelBase+i is
+//     PIM channel i's command activity.
+//   - PIDCompile holds wall-clock time: search phases and per-candidate
+//     profiling probes, on lanes allocated to keep concurrent spans from
+//     overlapping on one track.
+const (
+	PIDTimeline = 1
+	PIDCompile  = 2
+
+	TIDGPU         = 0
+	TIDPIM         = 1
+	TIDChannelBase = 100
+)
+
+// Event is one Chrome trace-event. Phase "X" is a complete event (ts +
+// dur), "i" an instant, "M" metadata (process/thread names).
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// laneGroup tracks reusable wall-clock lanes for one span category, so
+// concurrent spans render on separate tracks instead of on top of each
+// other. Lanes are reserved at span start and released at span end.
+type laneGroup struct {
+	base int       // first tid of the group
+	ends []float64 // per-lane reservation: +Inf while a span is open
+}
+
+// Trace is a thread-safe, nil-safe collector of trace events. All methods
+// are no-ops on a nil receiver, so instrumented code passes a possibly-nil
+// *Trace around without conditionals.
+type Trace struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []Event
+	named   map[[2]int]bool // (pid,tid) with a thread_name emitted
+	procs   map[int]bool    // pid with a process_name emitted
+	groups  map[string]*laneGroup
+	nextTID int // next lane-group base tid in PIDCompile
+	meta    map[string]any
+}
+
+// NewTrace returns an empty collector; its wall clock starts now.
+func NewTrace() *Trace {
+	return &Trace{
+		start:   time.Now(),
+		named:   map[[2]int]bool{},
+		procs:   map[int]bool{},
+		groups:  map[string]*laneGroup{},
+		meta:    map[string]any{},
+		nextTID: 0,
+	}
+}
+
+// Enabled reports whether events are being collected.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// SetProcessName labels a pid in the trace viewer.
+func (t *Trace) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.processNameLocked(pid, name)
+}
+
+func (t *Trace) processNameLocked(pid int, name string) {
+	if t.procs[pid] {
+		return
+	}
+	t.procs[pid] = true
+	t.events = append(t.events, Event{
+		Name: "process_name", Phase: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// SetThreadName labels a (pid, tid) track in the trace viewer.
+func (t *Trace) SetThreadName(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.threadNameLocked(pid, tid, name)
+}
+
+func (t *Trace) threadNameLocked(pid, tid int, name string) {
+	key := [2]int{pid, tid}
+	if t.named[key] {
+		return
+	}
+	t.named[key] = true
+	t.events = append(t.events, Event{
+		Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// CompleteCycles records a complete event on the simulated timeline:
+// start and dur are cycles in the GPU clock domain (1 cycle = 1 ns).
+func (t *Trace) CompleteCycles(tid int, name, cat string, startCycles, durCycles int64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Phase: "X",
+		TS: float64(startCycles) / 1e3, Dur: float64(durCycles) / 1e3,
+		PID: PIDTimeline, TID: tid, Args: args,
+	})
+}
+
+// InstantCycles records an instant event on the simulated timeline.
+func (t *Trace) InstantCycles(tid int, name, cat string, atCycles int64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Phase: "i", Scope: "t",
+		TS:  float64(atCycles) / 1e3,
+		PID: PIDTimeline, TID: tid, Args: args,
+	})
+}
+
+// Span opens a wall-clock span in the named lane group ("phase",
+// "probe", ...) of the compile process and returns its closer. The
+// closer's args are merged into the event, so outcomes measured during
+// the span (cache hit/miss, profiled cycles) can be attached at the end.
+// Concurrent spans of one group land on distinct lanes/tracks.
+func (t *Trace) Span(group, name, cat string, args map[string]any) func(extra map[string]any) {
+	if t == nil {
+		return func(map[string]any) {}
+	}
+	startUS := float64(time.Since(t.start)) / float64(time.Microsecond)
+	t.mu.Lock()
+	g, lane := t.reserveLaneLocked(group, startUS)
+	t.mu.Unlock()
+	return func(extra map[string]any) {
+		endUS := float64(time.Since(t.start)) / float64(time.Microsecond)
+		merged := args
+		if len(extra) > 0 {
+			merged = make(map[string]any, len(args)+len(extra))
+			for k, v := range args {
+				merged[k] = v
+			}
+			for k, v := range extra {
+				merged[k] = v
+			}
+		}
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		g.ends[lane] = endUS
+		t.events = append(t.events, Event{
+			Name: name, Cat: cat, Phase: "X",
+			TS: startUS, Dur: endUS - startUS,
+			PID: PIDCompile, TID: g.base + lane, Args: merged,
+		})
+	}
+}
+
+// reserveLaneLocked finds (or creates) a free lane in the group and marks
+// it busy until the span closes.
+func (t *Trace) reserveLaneLocked(group string, startUS float64) (*laneGroup, int) {
+	t.processNameLocked(PIDCompile, "compile/search (wall clock)")
+	g, ok := t.groups[group]
+	if !ok {
+		// Groups get disjoint 64-track tid ranges in creation order.
+		g = &laneGroup{base: t.nextTID}
+		t.nextTID += 64
+		t.groups[group] = g
+	}
+	for i, end := range g.ends {
+		if end <= startUS {
+			g.ends[i] = math.Inf(1)
+			return g, i
+		}
+	}
+	g.ends = append(g.ends, math.Inf(1))
+	lane := len(g.ends) - 1
+	t.threadNameLocked(PIDCompile, g.base+lane, fmt.Sprintf("%s-%d", group, lane))
+	return g, lane
+}
+
+// SetMeta attaches a key to the document's otherData section (totals,
+// configuration echoes).
+func (t *Trace) SetMeta(key string, value any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.meta[key] = value
+}
+
+// Len returns the number of collected events (metadata included).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the collected events in export order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sortEvents(out)
+	return out
+}
+
+// sortEvents orders metadata first, then by (pid, tid, ts, name) so the
+// export is deterministic for deterministic inputs.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if (a.Phase == "M") != (b.Phase == "M") {
+			return a.Phase == "M"
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return a.Name < b.Name
+	})
+}
+
+// WriteJSON serializes the trace as a Chrome trace-event JSON document
+// (object form, with traceEvents plus otherData), loadable in
+// chrome://tracing and Perfetto.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil trace")
+	}
+	doc := map[string]any{
+		"traceEvents":     t.Events(),
+		"displayTimeUnit": "ns",
+	}
+	t.mu.Lock()
+	if len(t.meta) > 0 {
+		meta := make(map[string]any, len(t.meta))
+		for k, v := range t.meta {
+			meta[k] = v
+		}
+		doc["otherData"] = meta
+	}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

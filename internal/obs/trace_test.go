@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Error("nil trace reports enabled")
+	}
+	tr.CompleteCycles(TIDGPU, "n", "c", 0, 1, nil)
+	tr.InstantCycles(TIDPIM, "n", "c", 0, nil)
+	tr.SetThreadName(PIDTimeline, 0, "GPU")
+	tr.SetProcessName(PIDTimeline, "sim")
+	tr.SetMeta("k", 1)
+	tr.Span("probe", "p", "c", nil)(nil)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Error("nil trace accumulated state")
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("nil trace WriteJSON should error")
+	}
+}
+
+func TestTraceJSONIsValidTraceEventFormat(t *testing.T) {
+	tr := NewTrace()
+	tr.SetProcessName(PIDTimeline, "simulated timeline")
+	tr.SetThreadName(PIDTimeline, TIDGPU, "GPU")
+	tr.SetThreadName(PIDTimeline, TIDPIM, "PIM")
+	tr.CompleteCycles(TIDGPU, "conv1_gpu", "Conv", 0, 1000, map[string]any{"device": "GPU"})
+	tr.CompleteCycles(TIDPIM, "conv1_pim", "Conv", 100, 800, map[string]any{"device": "PIM"})
+	tr.CompleteCycles(TIDChannelBase+3, "COMP", "pim-cmd", 150, 20, nil)
+	tr.InstantCycles(TIDPIM, "merge", "sync", 1000, nil)
+	done := tr.Span("phase", "profile-layers", "search", map[string]any{"layers": 3})
+	done(map[string]any{"probes": 12})
+	tr.SetMeta("totalCycles", int64(1000))
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData["totalCycles"] != float64(1000) {
+		t.Errorf("otherData = %v", doc.OtherData)
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phases[e.Phase]++
+		switch e.Phase {
+		case "X":
+			if e.Dur < 0 || e.TS < 0 {
+				t.Errorf("event %q has negative ts/dur", e.Name)
+			}
+		case "M", "i":
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if phases["X"] != 4 || phases["i"] != 1 || phases["M"] < 3 {
+		t.Errorf("phase mix %v", phases)
+	}
+	// The span closer's extra args must be merged into the event.
+	for _, e := range doc.TraceEvents {
+		if e.Name == "profile-layers" {
+			if e.Args["layers"] != float64(3) || e.Args["probes"] != float64(12) {
+				t.Errorf("span args not merged: %v", e.Args)
+			}
+		}
+	}
+}
+
+func TestTraceCycleToMicrosecondMapping(t *testing.T) {
+	tr := NewTrace()
+	tr.CompleteCycles(TIDGPU, "n", "c", 2500, 500, nil)
+	evs := tr.Events()
+	var found bool
+	for _, e := range evs {
+		if e.Name == "n" {
+			found = true
+			if e.TS != 2.5 || e.Dur != 0.5 {
+				t.Errorf("ts=%v dur=%v, want 2.5/0.5 (cycles/1000)", e.TS, e.Dur)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("event not recorded")
+	}
+}
+
+func TestTraceDeterministicOrder(t *testing.T) {
+	build := func() []byte {
+		tr := NewTrace()
+		tr.SetThreadName(PIDTimeline, TIDPIM, "PIM")
+		tr.SetThreadName(PIDTimeline, TIDGPU, "GPU")
+		tr.CompleteCycles(TIDPIM, "b", "c", 10, 5, nil)
+		tr.CompleteCycles(TIDGPU, "a", "c", 0, 5, nil)
+		tr.CompleteCycles(TIDGPU, "a2", "c", 0, 7, nil)
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("identical traces serialized differently")
+	}
+}
+
+func TestSpanLaneAllocation(t *testing.T) {
+	tr := NewTrace()
+	// Two overlapping spans must land on distinct lanes; a span starting
+	// after both closed reuses the first lane.
+	d1 := tr.Span("probe", "p1", "c", nil)
+	d2 := tr.Span("probe", "p2", "c", nil)
+	d1(nil)
+	d2(nil)
+	d3 := tr.Span("probe", "p3", "c", nil)
+	d3(nil)
+	tids := map[string]int{}
+	for _, e := range tr.Events() {
+		if e.Phase == "X" {
+			tids[e.Name] = e.TID
+		}
+	}
+	if tids["p1"] == tids["p2"] {
+		t.Errorf("overlapping spans share tid %d", tids["p1"])
+	}
+	if tids["p3"] != tids["p1"] {
+		t.Errorf("sequential span should reuse lane: p3 tid %d, p1 tid %d", tids["p3"], tids["p1"])
+	}
+}
+
+func TestSpanGroupsGetDisjointTIDRanges(t *testing.T) {
+	tr := NewTrace()
+	tr.Span("phase", "ph", "c", nil)(nil)
+	tr.Span("probe", "pr", "c", nil)(nil)
+	var phTID, prTID = -1, -1
+	for _, e := range tr.Events() {
+		if e.Phase != "X" {
+			continue
+		}
+		switch e.Name {
+		case "ph":
+			phTID = e.TID
+		case "pr":
+			prTID = e.TID
+		}
+	}
+	if phTID == prTID {
+		t.Errorf("groups share tid %d", phTID)
+	}
+}
+
+func TestTraceConcurrentUse(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.CompleteCycles(TIDGPU, "n", "c", int64(i), 1, nil)
+				tr.Span("probe", "p", "c", nil)(map[string]any{"w": w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace produced invalid JSON")
+	}
+}

@@ -103,6 +103,22 @@ type Counts struct {
 	MACs     int64 // derived: ColIOs * banks * mults (filled by Stats)
 }
 
+// Scale returns the counts multiplied by n (every field scales linearly,
+// the derived MACs included).
+func (c Counts) Scale(n int64) Counts {
+	return Counts{
+		GWrites:  c.GWrites * n,
+		GActs:    c.GActs * n,
+		Comps:    c.Comps * n,
+		ReadRes:  c.ReadRes * n,
+		ColIOs:   c.ColIOs * n,
+		GWBursts: c.GWBursts * n,
+		RRBursts: c.RRBursts * n,
+		NewRows:  c.NewRows * n,
+		MACs:     c.MACs * n,
+	}
+}
+
 // Add accumulates other into c.
 func (c *Counts) Add(other Counts) {
 	c.GWrites += other.GWrites

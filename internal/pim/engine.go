@@ -1,6 +1,10 @@
 package pim
 
-import "fmt"
+import (
+	"fmt"
+
+	"pimflow/internal/num"
+)
 
 // Stats is the result of simulating a PIM kernel trace.
 type Stats struct {
@@ -8,6 +12,11 @@ type Stats struct {
 	Cycles int64
 	// PerChannel holds each participating channel's drain time.
 	PerChannel []int64
+	// PerChannelBusy holds each participating channel's MAC-pipeline busy
+	// cycles (the numerator of its utilization).
+	PerChannelBusy []int64
+	// PerChannelCounts holds each participating channel's command counts.
+	PerChannelCounts []Counts
 	// Counts aggregates command counts across channels.
 	Counts Counts
 	// Seconds is Cycles converted through the configured clock.
@@ -32,18 +41,25 @@ func (s Stats) Scale(n int64) Stats {
 	for i, c := range s.PerChannel {
 		out.PerChannel[i] = c * n
 	}
-	c := s.Counts
-	c.GWrites *= n
-	c.GActs *= n
-	c.Comps *= n
-	c.ReadRes *= n
-	c.ColIOs *= n
-	c.GWBursts *= n
-	c.RRBursts *= n
-	c.NewRows *= n
-	c.MACs *= n
-	out.Counts = c
+	out.PerChannelBusy = make([]int64, len(s.PerChannelBusy))
+	for i, c := range s.PerChannelBusy {
+		out.PerChannelBusy[i] = c * n
+	}
+	out.PerChannelCounts = make([]Counts, len(s.PerChannelCounts))
+	for i, c := range s.PerChannelCounts {
+		out.PerChannelCounts[i] = c.Scale(n)
+	}
+	out.Counts = s.Counts.Scale(n)
 	return out
+}
+
+// CommandEvent is the simulated activity window of one command: issue to
+// completion, in PIM-clock cycles. SimulateEvents emits one per command so
+// observability layers can render per-channel activity on a timeline.
+type CommandEvent struct {
+	Channel    int
+	Kind       Kind
+	Start, End int64
 }
 
 // channelState tracks one channel's in-order command queue timing.
@@ -76,25 +92,46 @@ type channelState struct {
 //     streams Cols column I/Os at one per tCCDL.
 //   - READRES drains the result latches after the pipeline: tCL + bursts.
 func Simulate(cfg Config, tr *Trace) (Stats, error) {
+	st, _, err := simulate(cfg, tr, false)
+	return st, err
+}
+
+// SimulateEvents is Simulate plus the per-command activity windows, in
+// channel order then command order. It costs extra allocation proportional
+// to the command count, so it is reserved for tracing runs.
+func SimulateEvents(cfg Config, tr *Trace) (Stats, []CommandEvent, error) {
+	return simulate(cfg, tr, true)
+}
+
+func simulate(cfg Config, tr *Trace, record bool) (Stats, []CommandEvent, error) {
 	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
+		return Stats{}, nil, err
 	}
 	if len(tr.Channels) == 0 {
-		return Stats{}, fmt.Errorf("pim: empty trace")
+		return Stats{}, nil, fmt.Errorf("pim: empty trace")
 	}
 	if len(tr.Channels) > cfg.Channels {
-		return Stats{}, fmt.Errorf("pim: trace uses %d channels, config has %d", len(tr.Channels), cfg.Channels)
+		return Stats{}, nil, fmt.Errorf("pim: trace uses %d channels, config has %d", len(tr.Channels), cfg.Channels)
 	}
 	tm := cfg.Timing
-	stats := Stats{PerChannel: make([]int64, len(tr.Channels))}
+	stats := Stats{
+		PerChannel:       make([]int64, len(tr.Channels)),
+		PerChannelBusy:   make([]int64, len(tr.Channels)),
+		PerChannelCounts: make([]Counts, len(tr.Channels)),
+	}
+	var events []CommandEvent
+	if record {
+		events = make([]CommandEvent, 0, tr.TotalCommands())
+	}
 	var busySum float64
 	for i, ch := range tr.Channels {
 		var s channelState
 		for _, cmd := range ch.Commands {
+			var evStart, evEnd int64
 			switch {
 			case cmd.Kind.IsGWrite():
 				if cmd.Bursts < 0 {
-					return Stats{}, fmt.Errorf("pim: negative bursts on channel %d", ch.Channel)
+					return Stats{}, nil, fmt.Errorf("pim: negative bursts on channel %d", ch.Channel)
 				}
 				var start int64
 				if cfg.GWriteLatencyHiding {
@@ -102,14 +139,14 @@ func Simulate(cfg Config, tr *Trace) (Stats, error) {
 					// transfer with one-deep prefetch — it streams in from
 					// GPU channels once computation on the previous buffer
 					// set has begun, overlapping transfer with COMP/G_ACT.
-					start = max64(s.busInFreeAt, s.lastCompAt)
+					start = num.Max64(s.busInFreeAt, s.lastCompAt)
 				} else {
-					start = max64(s.t, max64(s.busInFreeAt, s.busOutFreeAt))
+					start = num.Max64(s.t, num.Max64(s.busInFreeAt, s.busOutFreeAt))
 				}
 				if cfg.GlobalBufs == 1 {
 					// A single buffer cannot be refilled while COMPs are
 					// still consuming it; multiple buffers double-buffer.
-					start = max64(start, s.compFreeAt)
+					start = num.Max64(start, s.compFreeAt)
 				}
 				done := start + int64(cmd.Bursts)*int64(tm.TBL)
 				s.busInFreeAt = done
@@ -117,22 +154,23 @@ func Simulate(cfg Config, tr *Trace) (Stats, error) {
 				if cfg.GWriteLatencyHiding {
 					// The queue moves on so the following G_ACT overlaps
 					// the in-flight transfer.
-					s.t = max64(s.t, start) + 1
+					s.t = num.Max64(s.t, start) + 1
 				} else {
 					s.t = done
 				}
+				evStart, evEnd = start, done
 			case cmd.Kind == KindGAct:
 				// Banks cannot activate a new row while the MAC pipeline
 				// streams column I/Os from the open one — unless bank
 				// ping-pong is enabled, in which case the activation lands
 				// in the other bank group and overlaps the COMP stream.
-				start := max64(s.t, s.compFreeAt)
+				start := num.Max64(s.t, s.compFreeAt)
 				if cfg.BankPingPong {
 					start = s.t
 				}
 				if cmd.NewRow && s.rowOpen {
 					// Precharge the open row first, honoring tRAS.
-					pre := max64(start, s.rowOpenAt+int64(tm.TRAS))
+					pre := num.Max64(start, s.rowOpenAt+int64(tm.TRAS))
 					s.rowReadyAt = pre + int64(tm.TRP) + int64(tm.TRCD)
 					start = pre
 				} else {
@@ -141,11 +179,12 @@ func Simulate(cfg Config, tr *Trace) (Stats, error) {
 				s.rowOpenAt = s.rowReadyAt
 				s.rowOpen = true
 				s.t = start + 1
+				evStart, evEnd = start, s.rowReadyAt
 			case cmd.Kind == KindComp:
 				if cmd.Cols <= 0 {
-					return Stats{}, fmt.Errorf("pim: COMP with %d cols on channel %d", cmd.Cols, ch.Channel)
+					return Stats{}, nil, fmt.Errorf("pim: COMP with %d cols on channel %d", cmd.Cols, ch.Channel)
 				}
-				start := max64(max64(s.t, s.rowReadyAt), max64(s.bufReadyAt, s.compFreeAt))
+				start := num.Max64(num.Max64(s.t, s.rowReadyAt), num.Max64(s.bufReadyAt, s.compFreeAt))
 				dur := int64(cmd.Cols) * int64(tm.TCCDL)
 				s.lastCompAt = start
 				s.compFreeAt = start + dur
@@ -153,19 +192,24 @@ func Simulate(cfg Config, tr *Trace) (Stats, error) {
 				// Issue is pipelined: the queue advances so a following
 				// GWRITE can stream the next buffer during the COMPs.
 				s.t = start + 1
+				evStart, evEnd = start, s.compFreeAt
 			case cmd.Kind == KindReadRes:
 				// Result latches must be stable: drain after the pipeline,
 				// and block the queue (no latch double-buffering). Results
 				// leave on the outbound path toward GPU channels.
-				start := max64(max64(s.t, s.compFreeAt), s.busOutFreeAt)
+				start := num.Max64(num.Max64(s.t, s.compFreeAt), s.busOutFreeAt)
 				done := start + int64(tm.TCL) + int64(cmd.Bursts)*int64(tm.TBL)
 				s.busOutFreeAt = done
 				s.t = done
+				evStart, evEnd = start, done
 			default:
-				return Stats{}, fmt.Errorf("pim: unknown command kind %d", cmd.Kind)
+				return Stats{}, nil, fmt.Errorf("pim: unknown command kind %d", cmd.Kind)
+			}
+			if record {
+				events = append(events, CommandEvent{Channel: ch.Channel, Kind: cmd.Kind, Start: evStart, End: evEnd})
 			}
 		}
-		drain := max64(max64(s.t, max64(s.busInFreeAt, s.busOutFreeAt)), s.compFreeAt)
+		drain := num.Max64(num.Max64(s.t, num.Max64(s.busInFreeAt, s.busOutFreeAt)), s.compFreeAt)
 		if cfg.ModelRefresh && cfg.Timing.TREFI > 0 {
 			// All-bank refresh steals tRFC every tREFI: stretch the drain
 			// time by the refresh duty cycle (kernels are short relative
@@ -174,23 +218,18 @@ func Simulate(cfg Config, tr *Trace) (Stats, error) {
 			drain += int64(float64(drain) * duty)
 		}
 		stats.PerChannel[i] = drain
+		stats.PerChannelBusy[i] = s.compBusy
 		if drain > stats.Cycles {
 			stats.Cycles = drain
 		}
 		if drain > 0 {
 			busySum += float64(s.compBusy) / float64(drain)
 		}
-		stats.Counts.Add(CountOf(ch))
+		stats.PerChannelCounts[i] = CountOf(ch)
+		stats.Counts.Add(stats.PerChannelCounts[i])
 	}
 	stats.BusyFraction = busySum / float64(len(tr.Channels))
 	stats.Counts.MACs = stats.Counts.ColIOs * int64(cfg.BanksPerChannel) * int64(cfg.MultsPerBank)
 	stats.Seconds = cfg.CyclesToSeconds(stats.Cycles)
-	return stats, nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
+	return stats, events, nil
 }

@@ -33,16 +33,47 @@ import (
 
 // FormatVersion is the persistence format version. Files written with a
 // different version are rejected by Load, which is how key-scheme changes
-// invalidate old logs wholesale.
-const FormatVersion = 1
+// invalidate old logs wholesale. Version 2 added PerChannelBusy, which
+// the observability layer's per-channel utilization metrics require, so
+// version-1 files (which would load with the field silently zero) are
+// discarded rather than merged.
+const FormatVersion = 2
 
 // Profile is one cached measurement: the simulated cycle count in the
 // measured device's own clock domain, plus — for PIM entries — the
-// command counts the energy model consumes. GPU entries carry counts of
-// zero.
+// command counts the energy model consumes and the per-channel
+// MAC-pipeline busy cycles the observability metrics report. GPU entries
+// carry counts of zero.
 type Profile struct {
-	Cycles int64      `json:"cycles"`
-	Counts pim.Counts `json:"counts,omitempty"`
+	Cycles         int64      `json:"cycles"`
+	Counts         pim.Counts `json:"counts,omitempty"`
+	PerChannelBusy []int64    `json:"perChannelBusy,omitempty"`
+}
+
+// Outcome classifies how a Do/DoObserved lookup was answered.
+type Outcome int
+
+const (
+	// OutcomeMiss means the compute function ran.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit means a completed entry answered the lookup.
+	OutcomeHit
+	// OutcomeShared means the caller waited on another caller's in-flight
+	// computation of the same key.
+	OutcomeShared
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeShared:
+		return "shared"
+	default:
+		return "unknown"
+	}
 }
 
 // Stats is a snapshot of the store's counters.
@@ -108,17 +139,25 @@ func New() *Store {
 // waited on; otherwise compute runs and its result is stored. Errors
 // propagate to every waiter of the attempt and are not cached.
 func (s *Store) Do(key string, compute func() (Profile, error)) (Profile, error) {
+	p, _, err := s.DoObserved(key, compute)
+	return p, err
+}
+
+// DoObserved is Do plus the lookup's outcome (hit, miss, or shared), so
+// instrumentation can annotate individual probes without diffing counter
+// snapshots around concurrent calls.
+func (s *Store) DoObserved(key string, compute func() (Profile, error)) (Profile, Outcome, error) {
 	s.mu.Lock()
 	if p, ok := s.entries[key]; ok {
 		s.hits++
 		s.mu.Unlock()
-		return p, nil
+		return p, OutcomeHit, nil
 	}
 	if f, ok := s.inflight[key]; ok {
 		s.shared++
 		s.mu.Unlock()
 		<-f.done
-		return f.val, f.err
+		return f.val, OutcomeShared, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
@@ -134,7 +173,7 @@ func (s *Store) Do(key string, compute func() (Profile, error)) (Profile, error)
 	}
 	s.mu.Unlock()
 	close(f.done)
-	return f.val, f.err
+	return f.val, OutcomeMiss, f.err
 }
 
 // Get returns the cached profile for key, if present.

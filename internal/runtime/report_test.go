@@ -1,0 +1,143 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pimflow/internal/graph"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport fabricates a small deterministic schedule: a GPU conv, an
+// overlapping PIM conv (an MD-DP pair), an elided concat, and a fused
+// zero-duration activation.
+func goldenReport() *Report {
+	return &Report{
+		TotalCycles: 3000,
+		Seconds:     3e-6,
+		GPUBusy:     2000,
+		PIMBusy:     1500,
+		MoveCycles:  100,
+		Nodes: []NodeReport{
+			{Name: "conv1_gpu", Op: graph.OpConv, Device: graph.DeviceGPU, Mode: graph.ModeMDDP, Start: 0, End: 2000},
+			{Name: "conv1_pim", Op: graph.OpConv, Device: graph.DevicePIM, Mode: graph.ModeMDDP, Start: 0, End: 1500},
+			{Name: "conv1_concat", Op: graph.OpConcat, Device: graph.DeviceGPU, Mode: graph.ModeSerial, Start: 2000, End: 2000, Elided: true},
+			{Name: "relu1", Op: graph.OpRelu, Device: graph.DeviceGPU, Mode: graph.ModeSerial, Start: 2000, End: 2000},
+			{Name: "fc", Op: graph.OpGemm, Device: graph.DeviceGPU, Mode: graph.ModeSerial, Start: 2100, End: 3000, MoveCycles: 100},
+		},
+	}
+}
+
+func TestNodeByName(t *testing.T) {
+	rep := goldenReport()
+	n := rep.NodeByName("conv1_pim")
+	if n == nil {
+		t.Fatal("NodeByName(conv1_pim) = nil")
+	}
+	if n.Device != graph.DevicePIM || n.End != 1500 {
+		t.Errorf("wrong node returned: %+v", n)
+	}
+	// The pointer aliases the report so callers can annotate in place.
+	n.End = 1600
+	if rep.Nodes[1].End != 1600 {
+		t.Error("NodeByName result does not alias the report slice")
+	}
+	if rep.NodeByName("nope") != nil {
+		t.Error("NodeByName(nope) != nil")
+	}
+}
+
+func TestNodeReportDuration(t *testing.T) {
+	for _, tc := range []struct {
+		start, end, want int64
+	}{
+		{0, 2000, 2000},
+		{2000, 2000, 0},
+		{2100, 3000, 900},
+	} {
+		if got := (NodeReport{Start: tc.start, End: tc.end}).Duration(); got != tc.want {
+			t.Errorf("Duration(%d,%d) = %d, want %d", tc.start, tc.end, got, tc.want)
+		}
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exported trace JSON byte for byte
+// and checks it is structurally valid trace-event format.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with go test -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON differs from golden file\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// Serialization must be deterministic across calls.
+	var again bytes.Buffer
+	if err := goldenReport().WriteChromeTrace(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteChromeTrace is not deterministic")
+	}
+
+	// Structural validity: the trace-event envelope and complete events.
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    *float64       `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// Elided and zero-duration nodes are dropped: conv pair + fc remain.
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "X" {
+			t.Errorf("event %q phase %q, want X", ev.Name, ev.Phase)
+		}
+		if ev.TS == nil || ev.Dur <= 0 {
+			t.Errorf("event %q missing ts/dur", ev.Name)
+		}
+		if ev.Args["device"] == nil || ev.Args["cycles"] == nil {
+			t.Errorf("event %q missing args: %v", ev.Name, ev.Args)
+		}
+		tids[ev.TID] = true
+	}
+	if !tids[0] || !tids[1] {
+		t.Errorf("want both GPU (0) and PIM (1) tracks, got %v", tids)
+	}
+	if doc.OtherData["totalCycles"] == nil {
+		t.Error("otherData.totalCycles missing")
+	}
+}

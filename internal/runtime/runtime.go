@@ -18,11 +18,14 @@ package runtime
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 
 	"pimflow/internal/codegen"
 	"pimflow/internal/gpu"
 	"pimflow/internal/graph"
+	"pimflow/internal/num"
+	"pimflow/internal/obs"
 	"pimflow/internal/pim"
 	"pimflow/internal/profcache"
 )
@@ -48,6 +51,16 @@ type Config struct {
 	// calls (and across the search, which shares the same store). Nil
 	// disables caching. Not part of the configuration fingerprint.
 	Profiles *profcache.Store `json:"-"`
+	// Trace, when non-nil, collects the schedule as span events on the
+	// simulated timeline — per-node GPU/PIM spans plus per-channel PIM
+	// command activity (which re-simulates offloaded nodes with event
+	// recording, so it is reserved for explicitly traced runs). Nil, the
+	// default, costs one pointer compare per node.
+	Trace *obs.Trace `json:"-"`
+	// Metrics, when non-nil, receives execution counters and gauges
+	// (busy cycles, data movement, per-channel utilization, PIM command
+	// mix). Nil disables collection at the same near-zero cost.
+	Metrics *obs.Metrics `json:"-"`
 }
 
 // PIMCycleScale returns the factor converting PIM-clock cycles into
@@ -192,6 +205,11 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 	deviceOf := map[*graph.Node]graph.Device{}
 	var gpuFree, pimFree int64
 	rep := &Report{}
+	if cfg.Trace.Enabled() {
+		cfg.Trace.SetProcessName(obs.PIDTimeline, "simulated timeline (1 cycle = 1 ns)")
+		cfg.Trace.SetThreadName(obs.PIDTimeline, obs.TIDGPU, "GPU stream")
+		cfg.Trace.SetThreadName(obs.PIDTimeline, obs.TIDPIM, "PIM command processor")
+	}
 
 	for _, n := range order {
 		dev := n.Exec.Device
@@ -255,6 +273,8 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 				end = ready + cfg.SyncOverheadCycles
 				nr.MoveCycles += cfg.SyncOverheadCycles
 				moveCycles += cfg.SyncOverheadCycles
+				cfg.Trace.InstantCycles(obs.TIDGPU, n.Name, "merge-sync", end,
+					map[string]any{"syncCycles": cfg.SyncOverheadCycles})
 			}
 		} else if dev == graph.DevicePIM {
 			w, err := codegen.NodeWorkload(g, n)
@@ -266,17 +286,25 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 				return nil, fmt.Errorf("runtime: PIM node %q: %w", n.Name, err)
 			}
 			cycles := cfg.pimCyclesToGPU(prof.Cycles)
-			start = max64(ready, pimFree)
+			start = num.Max64(ready, pimFree)
 			end = start + cycles
 			pimFree = end
 			rep.PIMBusy += cycles
 			nr.PIMCounts = prof.Counts
+			if cfg.Metrics != nil {
+				recordPIMNodeMetrics(cfg.Metrics, prof)
+			}
+			if cfg.Trace.Enabled() {
+				if err := traceChannelActivity(cfg, w, n.Name, start); err != nil {
+					return nil, fmt.Errorf("runtime: tracing PIM node %q: %w", n.Name, err)
+				}
+			}
 		} else {
 			cycles, k, err := timeGPU(g, n, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("runtime: GPU node %q: %w", n.Name, err)
 			}
-			start = max64(ready, gpuFree)
+			start = num.Max64(ready, gpuFree)
 			end = start + cycles
 			gpuFree = end
 			rep.GPUBusy += cycles
@@ -291,11 +319,108 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 		if end > rep.TotalCycles {
 			rep.TotalCycles = end
 		}
+		if cfg.Trace.Enabled() && !nr.Elided && nr.Duration() > 0 {
+			tid := obs.TIDGPU
+			if dev == graph.DevicePIM {
+				tid = obs.TIDPIM
+			}
+			cfg.Trace.CompleteCycles(tid, n.Name, string(n.Op), start, nr.Duration(), map[string]any{
+				"device": dev.String(), "mode": n.Exec.Mode.String(),
+				"cycles": nr.Duration(), "moveCycles": nr.MoveCycles,
+			})
+		}
 	}
 	// The timeline is in GPU-clock cycles throughout (PIM durations were
 	// scaled by PIMCycleScale), so the GPU clock alone converts to time.
 	rep.Seconds = float64(rep.TotalCycles) / (cfg.GPU.ClockGHz * 1e9)
+	if cfg.Metrics != nil {
+		recordReportMetrics(cfg.Metrics, rep)
+	}
+	if cfg.Trace.Enabled() {
+		cfg.Trace.SetMeta("totalCycles", rep.TotalCycles)
+		cfg.Trace.SetMeta("gpuBusy", rep.GPUBusy)
+		cfg.Trace.SetMeta("pimBusy", rep.PIMBusy)
+	}
+	if obs.Enabled(slog.LevelDebug) {
+		obs.L().Debug("runtime: executed graph",
+			"graph", g.Name, "nodes", len(order),
+			"totalCycles", rep.TotalCycles, "ms", rep.Seconds*1e3,
+			"gpuBusy", rep.GPUBusy, "pimBusy", rep.PIMBusy, "moveCycles", rep.MoveCycles)
+	}
 	return rep, nil
+}
+
+// recordPIMNodeMetrics folds one offloaded node's profile into the
+// registry: the command-kind mix and each participating channel's
+// MAC-pipeline utilization over the kernel makespan.
+func recordPIMNodeMetrics(m *obs.Metrics, prof profcache.Profile) {
+	m.Inc("runtime.pim_nodes")
+	c := prof.Counts
+	m.Add("pim.commands.gwrite", c.GWrites)
+	m.Add("pim.commands.g_act", c.GActs)
+	m.Add("pim.commands.comp", c.Comps)
+	m.Add("pim.commands.readres", c.ReadRes)
+	m.Add("pim.col_ios", c.ColIOs)
+	m.Add("pim.gwrite_bursts", c.GWBursts)
+	m.Add("pim.readres_bursts", c.RRBursts)
+	for ch, busy := range prof.PerChannelBusy {
+		m.Add(fmt.Sprintf("pim.channel_busy_cycles[%02d]", ch), busy)
+		if prof.Cycles > 0 {
+			m.Observe("pim.channel_utilization", float64(busy)/float64(prof.Cycles))
+		}
+	}
+}
+
+// recordReportMetrics publishes the finished schedule's headline numbers.
+func recordReportMetrics(m *obs.Metrics, rep *Report) {
+	m.Inc("runtime.executions")
+	m.Add("runtime.nodes", int64(len(rep.Nodes)))
+	m.Set("runtime.total_cycles", float64(rep.TotalCycles))
+	m.Set("runtime.seconds", rep.Seconds)
+	m.Set("runtime.gpu_busy_cycles", float64(rep.GPUBusy))
+	m.Set("runtime.pim_busy_cycles", float64(rep.PIMBusy))
+	m.Set("runtime.move_cycles", float64(rep.MoveCycles))
+	if rep.TotalCycles > 0 {
+		m.Set("runtime.gpu_busy_fraction", float64(rep.GPUBusy)/float64(rep.TotalCycles))
+		m.Set("runtime.pim_busy_fraction", float64(rep.PIMBusy)/float64(rep.TotalCycles))
+	}
+}
+
+// traceChannelActivity re-simulates one offloaded node's command trace
+// with event recording and places each command's activity window on its
+// channel's track, offset to the node's start on the shared timeline.
+// Grouped workloads draw the first group's window and annotate the
+// repetition count instead of materializing every repeat.
+func traceChannelActivity(cfg Config, w codegen.Workload, node string, startGPU int64) error {
+	st, events, err := codegen.WorkloadEvents(w, cfg.PIM, cfg.Codegen)
+	if err != nil {
+		return err
+	}
+	groups := w.GroupCount()
+	for _, ev := range events {
+		tid := obs.TIDChannelBase + ev.Channel
+		cfg.Trace.SetThreadName(obs.PIDTimeline, tid, fmt.Sprintf("pim-ch%02d", ev.Channel))
+		args := map[string]any{"node": node, "channel": ev.Channel}
+		if groups > 1 {
+			args["groups"] = groups // window repeats back to back per group
+		}
+		cfg.Trace.CompleteCycles(tid, ev.Kind.String(), "pim-cmd",
+			startGPU+cfg.pimCyclesToGPU(ev.Start),
+			num.Max64(cfg.pimCyclesToGPU(ev.End-ev.Start), 1), args)
+	}
+	// One summary span per channel covering its whole drain, so the track
+	// stays readable when zoomed out.
+	for ch, drain := range st.PerChannel {
+		tid := obs.TIDChannelBase + ch
+		busy := float64(0)
+		if drain > 0 {
+			busy = float64(st.PerChannelBusy[ch]) / float64(drain)
+		}
+		cfg.Trace.InstantCycles(tid, fmt.Sprintf("%s drain", node), "pim-channel",
+			startGPU+cfg.pimCyclesToGPU(drain)*int64(groups),
+			map[string]any{"busyFraction": busy, "drainCycles": drain * int64(groups)})
+	}
+	return nil
 }
 
 // mergesDevices reports whether a node's direct producers span more than
@@ -329,7 +454,7 @@ func timePIM(w codegen.Workload, cfg Config) (profcache.Profile, error) {
 		if err != nil {
 			return profcache.Profile{}, err
 		}
-		return profcache.Profile{Cycles: st.Cycles, Counts: st.Counts}, nil
+		return profcache.Profile{Cycles: st.Cycles, Counts: st.Counts, PerChannelBusy: st.PerChannelBusy}, nil
 	}
 	if cfg.Profiles == nil {
 		return compute()
@@ -357,11 +482,4 @@ func timeGPU(g *graph.Graph, n *graph.Node, cfg Config) (int64, gpu.Kernel, erro
 		return profcache.Profile{Cycles: res.Cycles}, nil
 	})
 	return p.Cycles, k, err
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

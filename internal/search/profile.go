@@ -3,11 +3,15 @@ package search
 import (
 	"fmt"
 	"math"
+	"strings"
+	"sync"
 
 	"pimflow/internal/codegen"
 	"pimflow/internal/gpu"
 	"pimflow/internal/graph"
 	"pimflow/internal/lower"
+	"pimflow/internal/num"
+	"pimflow/internal/obs"
 	"pimflow/internal/profcache"
 	"pimflow/internal/runtime"
 	"pimflow/internal/transform"
@@ -24,6 +28,17 @@ type profiler struct {
 	opts  Options
 	rt    runtime.Config
 	store *profcache.Store
+
+	// trace/metrics mirror Options.Trace/Metrics for probe
+	// instrumentation. They are deliberately NOT left on rt: probe
+	// Executes (pipeline profiling) must not draw on the simulated
+	// timeline or double-count runtime metrics — only the final
+	// compiled schedule does.
+	trace   *obs.Trace
+	metrics *obs.Metrics
+
+	mu     sync.Mutex
+	probes map[string]int64 // per-layer probe counts (metrics only)
 }
 
 func newProfiler(opts Options) *profiler {
@@ -35,7 +50,77 @@ func newProfiler(opts Options) *profiler {
 		store = profcache.New()
 		rt.Profiles = store
 	}
-	return &profiler{opts: opts, rt: rt, store: store}
+	p := &profiler{opts: opts, rt: rt, store: store, trace: opts.Trace, metrics: opts.Metrics}
+	rt.Trace, rt.Metrics = nil, nil
+	p.rt = rt
+	if p.metrics != nil {
+		p.probes = map[string]int64{}
+	}
+	return p
+}
+
+// noopProbeDone is returned by beginProbe when instrumentation is
+// disabled, so the hot profiling path costs two nil compares and no
+// allocations.
+var noopProbeDone = func(string, int64, error) {}
+
+// beginProbe opens one profiling probe: a wall-clock trace span in the
+// "probe" lane group plus the search probe counters. The returned func
+// closes the span, annotating it with the profile-cache outcome ("" for
+// probes that do not consult the store), the measured cycles, and any
+// error. ratio < 0 means the probe has no MD-DP split ratio.
+func (p *profiler) beginProbe(layer, kind string, ratio float64) func(outcome string, cycles int64, err error) {
+	if p.trace == nil && p.metrics == nil {
+		return noopProbeDone
+	}
+	p.metrics.Inc("search.probes")
+	if p.probes != nil {
+		p.mu.Lock()
+		p.probes[layer]++
+		p.mu.Unlock()
+	}
+	if !p.trace.Enabled() {
+		return func(outcome string, _ int64, _ error) {
+			if outcome != "" {
+				p.metrics.Inc("search.probe_cache_" + outcome)
+			}
+		}
+	}
+	args := map[string]any{"layer": layer, "kind": kind}
+	if ratio >= 0 {
+		args["gpuRatio"] = ratio
+	}
+	end := p.trace.Span("probe", layer+"/"+kind, "search.probe", args)
+	return func(outcome string, cycles int64, err error) {
+		if outcome != "" {
+			p.metrics.Inc("search.probe_cache_" + outcome)
+		}
+		extra := map[string]any{}
+		if outcome != "" {
+			extra["cache"] = outcome
+		}
+		if cycles > 0 {
+			extra["cycles"] = cycles
+		}
+		if err != nil {
+			extra["error"] = err.Error()
+		}
+		end(extra)
+	}
+}
+
+// finishMetrics flushes the per-layer probe counts into the
+// probes-per-layer histogram at the end of a Run.
+func (p *profiler) finishMetrics() {
+	if p.metrics == nil {
+		return
+	}
+	p.mu.Lock()
+	for _, c := range p.probes {
+		p.metrics.Observe("search.probes_per_layer", float64(c))
+	}
+	p.probes = map[string]int64{}
+	p.mu.Unlock()
 }
 
 // scalePIM converts PIM-clock cycles into the GPU clock domain the search
@@ -48,24 +133,29 @@ func (p *profiler) scalePIM(cycles int64) int64 {
 }
 
 // pimWorkload times a PIM GEMM workload through the store, returning
-// GPU-domain cycles.
-func (p *profiler) pimWorkload(w codegen.Workload) (int64, error) {
-	prof, err := p.store.Do(profcache.PIMWorkloadKey(w, p.rt.PIM, p.rt.Codegen), func() (profcache.Profile, error) {
+// GPU-domain cycles. layer/kind/ratio label the probe for observability.
+func (p *profiler) pimWorkload(w codegen.Workload, layer, kind string, ratio float64) (int64, error) {
+	done := p.beginProbe(layer, kind, ratio)
+	prof, out, err := p.store.DoObserved(profcache.PIMWorkloadKey(w, p.rt.PIM, p.rt.Codegen), func() (profcache.Profile, error) {
 		st, err := codegen.TimeWorkload(w, p.rt.PIM, p.rt.Codegen)
 		if err != nil {
 			return profcache.Profile{}, err
 		}
-		return profcache.Profile{Cycles: st.Cycles, Counts: st.Counts}, nil
+		return profcache.Profile{Cycles: st.Cycles, Counts: st.Counts, PerChannelBusy: st.PerChannelBusy}, nil
 	})
 	if err != nil {
+		done(out.String(), 0, err)
 		return 0, err
 	}
-	return p.scalePIM(prof.Cycles), nil
+	t := p.scalePIM(prof.Cycles)
+	done(out.String(), t, nil)
+	return t, nil
 }
 
 // gpuKernel times one roofline kernel through the store.
-func (p *profiler) gpuKernel(k gpu.Kernel) (int64, error) {
-	prof, err := p.store.Do(profcache.GPUKernelKey(k, p.rt.GPU), func() (profcache.Profile, error) {
+func (p *profiler) gpuKernel(k gpu.Kernel, layer, kind string, ratio float64) (int64, error) {
+	done := p.beginProbe(layer, kind, ratio)
+	prof, out, err := p.store.DoObserved(profcache.GPUKernelKey(k, p.rt.GPU), func() (profcache.Profile, error) {
 		res, err := p.rt.GPU.Time(k)
 		if err != nil {
 			return profcache.Profile{}, err
@@ -73,8 +163,10 @@ func (p *profiler) gpuKernel(k gpu.Kernel) (int64, error) {
 		return profcache.Profile{Cycles: res.Cycles}, nil
 	})
 	if err != nil {
+		done(out.String(), 0, err)
 		return 0, err
 	}
+	done(out.String(), prof.Cycles, nil)
 	return prof.Cycles, nil
 }
 
@@ -84,7 +176,7 @@ func (p *profiler) gpuNode(g *graph.Graph, n *graph.Node) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return p.gpuKernel(k)
+	return p.gpuKernel(k, n.Name, "gpu", -1)
 }
 
 // pimNode times a whole node offloaded to PIM.
@@ -93,7 +185,7 @@ func (p *profiler) pimNode(g *graph.Graph, n *graph.Node) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return p.pimWorkload(w)
+	return p.pimWorkload(w, n.Name, "pim", -1)
 }
 
 // mddp times the MD-DP execution of a candidate node at the given GPU
@@ -135,7 +227,7 @@ func (p *profiler) mddpConv(g *graph.Graph, n *graph.Node, ratio float64) (int64
 		OutH:   oCut, OutW: ow,
 	}
 	gk := p.rt.GPU.ConvKernel(n.Name+"_gpu", inRows, in[2], in[3], gl)
-	gt, err := p.gpuKernel(gk)
+	gt, err := p.gpuKernel(gk, n.Name, "mddp-gpu", ratio)
 	if err != nil {
 		return 0, err
 	}
@@ -143,11 +235,11 @@ func (p *profiler) mddpConv(g *graph.Graph, n *graph.Node, ratio float64) (int64
 	// GPU half (N is the per-group output-channel count; the Groups
 	// multiplicity scales the simulated trace).
 	pw := codegen.Workload{M: (oh - oCut) * ow, K: gl.Dims.K, N: w[3] / cp.Group, Segments: cp.KernelH, Groups: cp.Group}
-	pt, err := p.pimWorkload(pw)
+	pt, err := p.pimWorkload(pw, n.Name, "mddp-pim", ratio)
 	if err != nil {
 		return 0, err
 	}
-	return max64(gt, pt) + p.rt.SyncOverheadCycles, nil
+	return num.Max64(gt, pt) + p.rt.SyncOverheadCycles, nil
 }
 
 func (p *profiler) mddpGemm(g *graph.Graph, n *graph.Node, ratio float64) (int64, error) {
@@ -159,15 +251,15 @@ func (p *profiler) mddpGemm(g *graph.Graph, n *graph.Node, ratio float64) (int64
 		return 0, fmt.Errorf("search: gemm %q cannot split %d features at %v", n.Name, nOut, ratio)
 	}
 	gk := p.rt.GPU.GemmKernel(n.Name+"_gpu", m, k, cut)
-	gt, err := p.gpuKernel(gk)
+	gt, err := p.gpuKernel(gk, n.Name, "mddp-gpu", ratio)
 	if err != nil {
 		return 0, err
 	}
-	pt, err := p.pimWorkload(codegen.Workload{M: m, K: k, N: nOut - cut, Segments: 1})
+	pt, err := p.pimWorkload(codegen.Workload{M: m, K: k, N: nOut - cut, Segments: 1}, n.Name, "mddp-gemm", ratio)
 	if err != nil {
 		return 0, err
 	}
-	return max64(gt, pt) + p.rt.SyncOverheadCycles, nil
+	return num.Max64(gt, pt) + p.rt.SyncOverheadCycles, nil
 }
 
 // extractChain builds a standalone graph containing the chain nodes (the
@@ -210,26 +302,25 @@ func extractChain(g *graph.Graph, names []string) (*graph.Graph, error) {
 
 // pipeline profiles a pipelining candidate: the chain is extracted,
 // transformed at the configured stage count, memory-optimized, and
-// scheduled by the runtime.
+// scheduled by the runtime. The probe Execute runs with tracing and
+// metrics detached (see newProfiler); only the store is shared.
 func (p *profiler) pipeline(g *graph.Graph, cand transform.Candidate, stages int) (int64, error) {
+	done := p.beginProbe(strings.Join(cand.Nodes, "+"), "pipeline", -1)
 	sub, err := extractChain(g, cand.Nodes)
 	if err != nil {
+		done("", 0, err)
 		return 0, err
 	}
 	if err := transform.PipelineChain(sub, cand.Nodes, stages, 0); err != nil {
+		done("", 0, err)
 		return 0, err
 	}
 	transform.ElideDataMovement(sub)
 	rep, err := runtime.Execute(sub, p.rt)
 	if err != nil {
+		done("", 0, err)
 		return 0, err
 	}
+	done("", rep.TotalCycles, nil)
 	return rep.TotalCycles, nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -2,12 +2,14 @@ package search
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 
 	"pimflow/internal/graph"
+	"pimflow/internal/obs"
 	"pimflow/internal/transform"
 )
 
@@ -33,6 +35,11 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 	prof := newProfiler(opts)
 	cacheBefore := prof.store.Stats()
 	plan := &Plan{Model: g.Name, Policy: opts.Policy, Options: opts}
+	if obs.Enabled(slog.LevelInfo) {
+		obs.L().Info("search: starting",
+			"model", g.Name, "policy", opts.Policy.String(), "nodes", len(order),
+			"cachedProfiles", cacheBefore.Entries)
+	}
 
 	// Unary activations following a conv/FC layer are free: the GPU
 	// back-end fuses them into the producer kernel's epilogue (TVM's
@@ -63,6 +70,8 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 	}
 	cost := make([]int64, len(order))
 	plan.Decisions = make([]LayerDecision, len(order))
+	endPhase1 := opts.Trace.Span("search", "profile-layers", "search.phase",
+		map[string]any{"model": g.Name, "policy": opts.Policy.String(), "nodes": len(order)})
 	if err := forEachParallel(len(order), func(i int) error {
 		n := order[i]
 		d := LayerDecision{Node: n.Name, Op: n.Op, GPURatio: 1}
@@ -147,14 +156,18 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 		plan.Decisions[i] = d
 		return nil
 	}); err != nil {
+		endPhase1(map[string]any{"error": err.Error()})
 		return nil, err
 	}
+	endPhase1(nil)
 
 	// Phase 2: pipelining candidates (also independent; profiled
 	// concurrently, order preserved).
 	if opts.allowPipeline() {
 		cands := transform.FindPipelineCandidates(g)
 		results := make([]*PipelineDecision, len(cands))
+		endPhase2 := opts.Trace.Span("search", "profile-pipelines", "search.phase",
+			map[string]any{"model": g.Name, "candidates": len(cands)})
 		if err := forEachParallel(len(cands), func(ci int) error {
 			cand := cands[ci]
 			start, length, ok := chainSpan(cand.Nodes, idxOf)
@@ -176,6 +189,7 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 			}
 			return nil
 		}); err != nil {
+			endPhase2(map[string]any{"error": err.Error()})
 			return nil, err
 		}
 		for _, pd := range results {
@@ -183,12 +197,15 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 				plan.Pipelines = append(plan.Pipelines, *pd)
 			}
 		}
+		endPhase2(map[string]any{"profiled": len(plan.Pipelines)})
 	}
 
 	// Phase 3: dynamic program over the node sequence (Algorithm 1 lines
 	// 23-29): D[i] is the optimal time of nodes i..end; at each i either
 	// execute node i in its best single-node mode or enter a pipelined
 	// subgraph covering [i, i+len).
+	endPhase3 := opts.Trace.Span("search", "dynamic-program", "search.phase",
+		map[string]any{"model": g.Name})
 	n := len(order)
 	dp := make([]int64, n+1)
 	choice := make([]int, n) // -1 = single node, else pipeline index
@@ -219,7 +236,37 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 		}
 	}
 	plan.TotalProfiled = dp[0]
+	endPhase3(map[string]any{"totalProfiled": plan.TotalProfiled})
 	plan.Cache = prof.store.Stats().Sub(cacheBefore)
+	prof.finishMetrics()
+	if opts.Metrics != nil {
+		opts.Metrics.Inc("search.runs")
+		opts.Metrics.Add("search.cache_hits", plan.Cache.Hits)
+		opts.Metrics.Add("search.cache_misses", plan.Cache.Misses)
+		opts.Metrics.Add("search.cache_shared", plan.Cache.Shared)
+	}
+	if obs.Enabled(slog.LevelInfo) {
+		offload, split := 0, 0
+		for _, d := range plan.Decisions {
+			switch {
+			case d.PIMCandidate && d.GPURatio <= 0:
+				offload++
+			case d.PIMCandidate && d.GPURatio < 1:
+				split++
+			}
+		}
+		chosen := 0
+		for _, pd := range plan.Pipelines {
+			if pd.Chosen {
+				chosen++
+			}
+		}
+		obs.L().Info("search: plan ready",
+			"model", g.Name, "policy", opts.Policy.String(),
+			"totalProfiledCycles", plan.TotalProfiled,
+			"fullOffload", offload, "mddpSplit", split, "pipelines", chosen,
+			"cache", plan.Cache.String())
+	}
 	return plan, nil
 }
 

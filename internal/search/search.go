@@ -14,6 +14,7 @@ import (
 	"pimflow/internal/codegen"
 	"pimflow/internal/gpu"
 	"pimflow/internal/graph"
+	"pimflow/internal/obs"
 	"pimflow/internal/pim"
 	"pimflow/internal/profcache"
 	"pimflow/internal/runtime"
@@ -97,6 +98,17 @@ type Options struct {
 	// workload and device configuration fingerprints match. Nil gives
 	// each Run a private store. Excluded from persisted plans.
 	Profiles *profcache.Store `json:"-"`
+	// Trace, when non-nil, collects observability spans: wall-clock
+	// search phases and per-candidate profiling probes (annotated with
+	// their profile-cache outcome), and — through RuntimeConfig — the
+	// final schedule's simulated timeline. Nil disables tracing at the
+	// cost of one pointer compare per site. Excluded from persisted
+	// plans.
+	Trace *obs.Trace `json:"-"`
+	// Metrics, when non-nil, receives search counters (probes, cache
+	// hits/misses, probes per layer) and, through RuntimeConfig, the
+	// runtime's execution gauges. Excluded from persisted plans.
+	Metrics *obs.Metrics `json:"-"`
 }
 
 // DefaultOptions returns the paper's configuration for the given policy.
@@ -136,6 +148,8 @@ func (o Options) RuntimeConfig() runtime.Config {
 	}
 	cfg.PIM = p
 	cfg.Profiles = o.Profiles
+	cfg.Trace = o.Trace
+	cfg.Metrics = o.Metrics
 	return cfg
 }
 

@@ -1,0 +1,153 @@
+package pimflow_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pimflow"
+	"pimflow/internal/obs"
+)
+
+// TestTracedMobileNetMDDP is the observability acceptance test: a
+// MobileNetV2 MD-DP compile+run with a Trace and Metrics attached must
+// produce valid Chrome trace-event JSON containing overlapping GPU and
+// PIM spans on the simulated timeline, per-channel PIM command events,
+// and search probe spans; the metrics registry must capture the search
+// and runtime counters.
+func TestTracedMobileNetMDDP(t *testing.T) {
+	model, err := pimflow.BuildModel("mobilenet-v2", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pimflow.DefaultConfig(pimflow.PolicyMDDP)
+	cfg.Trace = pimflow.NewTrace()
+	cfg.Metrics = pimflow.NewMetrics()
+	compiled, err := pimflow.Compile(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := compiled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles <= 0 {
+		t.Fatal("empty report")
+	}
+
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	type span struct{ start, end float64 }
+	var gpu, pim []span
+	channelEvents, probeSpans, phaseSpans := 0, 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.PID == obs.PIDTimeline && ev.Phase == "X" && ev.TID == obs.TIDGPU:
+			gpu = append(gpu, span{ev.TS, ev.TS + ev.Dur})
+		case ev.PID == obs.PIDTimeline && ev.Phase == "X" && ev.TID == obs.TIDPIM:
+			pim = append(pim, span{ev.TS, ev.TS + ev.Dur})
+		case ev.PID == obs.PIDTimeline && ev.TID >= obs.TIDChannelBase:
+			channelEvents++
+		case ev.PID == obs.PIDCompile && ev.Cat == "search.probe":
+			probeSpans++
+		case ev.PID == obs.PIDCompile && ev.Cat == "search.phase":
+			phaseSpans++
+		}
+	}
+	if len(gpu) == 0 || len(pim) == 0 {
+		t.Fatalf("want spans on both device tracks, got %d GPU / %d PIM", len(gpu), len(pim))
+	}
+	overlap := false
+	for _, g := range gpu {
+		for _, p := range pim {
+			if g.start < p.end && p.start < g.end {
+				overlap = true
+			}
+		}
+	}
+	if !overlap {
+		t.Error("no overlapping GPU/PIM spans: MD-DP parallelism is not visible in the trace")
+	}
+	if channelEvents == 0 {
+		t.Error("no per-channel PIM command events")
+	}
+	if probeSpans == 0 {
+		t.Error("no search probe spans")
+	}
+	if phaseSpans == 0 {
+		t.Error("no search phase spans")
+	}
+
+	// Export determinism: serializing the same trace twice is identical.
+	var again bytes.Buffer
+	if err := cfg.Trace.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("trace serialization is not deterministic")
+	}
+
+	snap := cfg.Metrics.Snapshot()
+	for _, c := range []string{"search.probes", "search.runs", "runtime.nodes", "pim.commands.comp"} {
+		if snap.Counters[c] <= 0 {
+			t.Errorf("counter %q = %d, want > 0", c, snap.Counters[c])
+		}
+	}
+	if snap.Gauges["runtime.total_cycles"] != float64(rep.TotalCycles) {
+		t.Errorf("runtime.total_cycles gauge = %v, want %d", snap.Gauges["runtime.total_cycles"], rep.TotalCycles)
+	}
+	if h, ok := snap.Histograms["search.probes_per_layer"]; !ok || h.Count == 0 {
+		t.Error("search.probes_per_layer histogram missing or empty")
+	}
+	if h, ok := snap.Histograms["pim.channel_utilization"]; !ok || h.Count == 0 {
+		t.Error("pim.channel_utilization histogram missing or empty")
+	}
+}
+
+// TestTracedRunMatchesUntraced pins the zero-interference contract: a
+// traced compile+run must produce the identical schedule as an untraced
+// one.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	model, err := pimflow.BuildModel("mobilenet-v2", pimflow.ModelOptions{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(traced bool) int64 {
+		cfg := pimflow.DefaultConfig(pimflow.PolicyMDDP)
+		if traced {
+			cfg.Trace = pimflow.NewTrace()
+			cfg.Metrics = pimflow.NewMetrics()
+		}
+		compiled, err := pimflow.Compile(model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := compiled.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TotalCycles
+	}
+	plain, traced := run(false), run(true)
+	if plain != traced {
+		t.Errorf("traced run changed the schedule: %d vs %d cycles", traced, plain)
+	}
+}

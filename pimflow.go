@@ -22,6 +22,7 @@ package pimflow
 
 import (
 	"fmt"
+	"log/slog"
 
 	"pimflow/internal/codegen"
 	"pimflow/internal/energy"
@@ -29,6 +30,7 @@ import (
 	"pimflow/internal/graph"
 	"pimflow/internal/interp"
 	"pimflow/internal/models"
+	"pimflow/internal/obs"
 	"pimflow/internal/profcache"
 	"pimflow/internal/runtime"
 	"pimflow/internal/search"
@@ -110,8 +112,43 @@ func NewProfileStore() *ProfileStore { return profcache.New() }
 // experiment harness, for persistence and reporting in drivers.
 func ExperimentProfileCache() *ProfileStore { return experiments.ProfileCache() }
 
+// SetExperimentMetrics attaches a metrics registry to every experiment
+// harness compilation and execution (nil detaches). The harness results
+// and report text are unaffected.
+func SetExperimentMetrics(m *Metrics) { experiments.SetMetrics(m) }
+
 // Report is a simulated execution schedule with timing.
 type Report = runtime.Report
+
+// Trace collects observability spans across the pipeline: wall-clock
+// search phases and profiling probes, the final schedule's simulated
+// GPU/PIM timeline, and per-channel PIM command activity. Assign one to
+// Config.Trace before Compile/Run and export it with WriteJSON as Chrome
+// trace-event JSON (chrome://tracing, Perfetto). A nil Trace disables
+// collection at near-zero cost.
+type Trace = obs.Trace
+
+// NewTrace returns an enabled trace collector.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// Metrics is a registry of counters, gauges, and histograms the compiler
+// and runtime populate when assigned to Config.Metrics: simulations run,
+// profile-cache hit rate, probes per layer, device busy cycles,
+// per-channel utilization, and PIM command mix. Export with WriteJSON. A
+// nil Metrics disables collection at near-zero cost.
+type Metrics = obs.Metrics
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// SetVerbosity configures the package's structured logging to stderr:
+// 0 disables (the default), 1 enables info-level, 2 and above debug-level
+// messages. Logging is process-global and safe to toggle concurrently.
+func SetVerbosity(v int) { obs.SetVerbosity(v) }
+
+// SetLogger installs a custom slog logger for the package's structured
+// logs; nil restores the disabled default.
+func SetLogger(l *slog.Logger) { obs.SetLogger(l) }
 
 // EnergyBreakdown reports inference energy by component.
 type EnergyBreakdown = energy.Breakdown
