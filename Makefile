@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: build test race vet fmt bench report cover ci
+.PHONY: build test race vet fmt lint verify-models fuzz bench report cover ci
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -shuffle=on -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +17,23 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Repository conventions go vet cannot express: no wall-clock reads in
+# simulated-timeline packages, no unguarded obs log calls.
+lint:
+	$(GO) run ./cmd/pimflow-lint .
+
+# Static verification smoke gate: the graph-IR invariant checker and the
+# PIM command-stream linter over every built-in model.
+verify-models:
+	$(GO) run ./cmd/pimflow -m=verify -n=all
+
+# Short local fuzz pass over the graph JSON loader (the CI gate runs the
+# seed corpus via go test; this explores further).
+FUZZ_TIME ?= 20s
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime $(FUZZ_TIME) ./internal/graph
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
@@ -39,6 +56,6 @@ cover:
 	awk -v t="$$total" -v f="$(OBS_COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 		{ echo "coverage below floor"; exit 1; }
 
-# The full gate: formatting, static analysis, and the test suite under
-# the race detector.
-ci: fmt vet race
+# The full gate: formatting, static analysis, repo conventions, the test
+# suite under the race detector, and the model verification sweep.
+ci: fmt vet lint race verify-models

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string, simulated bool) []issue {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return lintFile(fset, f, simulated)
+}
+
+func TestWallClockFlaggedInSimulatedPackage(t *testing.T) {
+	src := `package pim
+import "time"
+func now() time.Time { return time.Now() }
+`
+	issues := lintSource(t, src, true)
+	if len(issues) != 1 || issues[0].rule != "no-wallclock" {
+		t.Fatalf("want one no-wallclock issue, got %v", issues)
+	}
+	if got := lintSource(t, src, false); len(got) != 0 {
+		t.Fatalf("non-simulated package should allow time.Now, got %v", got)
+	}
+}
+
+func TestWallClockVariants(t *testing.T) {
+	src := `package runtime
+import "time"
+func wait(t0 time.Time) {
+	time.Sleep(time.Millisecond)
+	_ = time.Since(t0)
+}
+`
+	issues := lintSource(t, src, true)
+	if len(issues) != 2 {
+		t.Fatalf("want 2 issues (Sleep, Since), got %v", issues)
+	}
+}
+
+func TestUnguardedLogFlagged(t *testing.T) {
+	src := `package search
+import "pimflow/internal/obs"
+func f(n int) {
+	obs.L().Info("hello", "n", n)
+}
+`
+	issues := lintSource(t, src, false)
+	if len(issues) != 1 || issues[0].rule != "guarded-logging" {
+		t.Fatalf("want one guarded-logging issue, got %v", issues)
+	}
+}
+
+func TestGuardedLogAccepted(t *testing.T) {
+	src := `package search
+import (
+	"log/slog"
+	"pimflow/internal/obs"
+)
+func f(n int) {
+	if obs.Enabled(slog.LevelDebug) {
+		obs.L().Debug("hello", "n", n)
+	}
+	if n > 0 && obs.Enabled(slog.LevelInfo) {
+		obs.L().Info("positive", "n", n)
+	}
+}
+`
+	if issues := lintSource(t, src, false); len(issues) != 0 {
+		t.Fatalf("guarded calls should pass, got %v", issues)
+	}
+}
+
+func TestObsPackageExempt(t *testing.T) {
+	src := `package obs
+import "time"
+func stamp() time.Time { return time.Now() }
+`
+	if issues := lintSource(t, src, true); len(issues) != 0 {
+		t.Fatalf("obs package should be exempt, got %v", issues)
+	}
+}
+
+func TestSimulatedPackageDetection(t *testing.T) {
+	cases := map[string]bool{
+		"internal/pim/command.go":     true,
+		"internal/runtime/runtime.go": true,
+		"internal/search/run.go":      false,
+		"internal/obs/trace.go":       false,
+	}
+	for path, want := range cases {
+		if got := inSimulatedPackage(path); got != want {
+			t.Errorf("inSimulatedPackage(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestRepoIsClean(t *testing.T) {
+	// The linter's own acceptance gate: the repository it ships in must
+	// pass it. Lints the module from the package directory's grandparent.
+	issues, err := lintTree("../..")
+	if err != nil {
+		t.Fatalf("lintTree: %v", err)
+	}
+	var msgs []string
+	for _, is := range issues {
+		msgs = append(msgs, is.String())
+	}
+	if len(issues) != 0 {
+		t.Fatalf("repository has lint issues:\n%s", strings.Join(msgs, "\n"))
+	}
+}

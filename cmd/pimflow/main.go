@@ -5,6 +5,14 @@
 //	pimflow -m=solve   -n=<net>               compute the optimal plan
 //	pimflow -m=run     -n=<net> [--gpu_only]  execute the transformed model
 //	pimflow -m=stats   -n=<net>               print the model graph summary
+//	pimflow -m=verify  -n=<net|all>           statically verify the model
+//
+// The verify mode runs the static verification layer without simulating:
+// the graph-IR invariant checker on the model before compilation and
+// after every transformation pass, then the PIM command-stream linter on
+// every offloaded layer's generated trace. -n=all sweeps every built-in
+// model; a non-empty diagnostic list exits nonzero. The -verify flag
+// enables the same checks as a debug gate inside the other modes.
 //
 // The <net> option accepts efficientnet-v1-b0, mobilenet-v2, mnasnet-1.0,
 // resnet-50, vgg-16, bert-base, or toy. Profiling results and the solved
@@ -37,6 +45,7 @@ func main() {
 		ratio    = flag.Float64("ratio_step", 0.1, "MD-DP split-ratio search interval (paper: 0.1; footnote explores 0.02)")
 		stages   = flag.Int("stages", 2, "pipeline stage count (paper: 2)")
 		refine   = flag.Bool("refine", false, "enable fine-grained ratio refinement (future-work auto-tuning)")
+		verify   = flag.Bool("verify", false, "run the static verifier after every transform pass and on every generated PIM trace (debug gate)")
 		gantt    = flag.Bool("gantt", false, "print an ASCII device timeline after running (run mode)")
 		profFile = flag.String("profile-cache", "", "JSON profile-cache file: loaded before the run, saved after (the metadata log)")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the compile+execute pipeline to this file (open in Perfetto or chrome://tracing)")
@@ -51,7 +60,7 @@ func main() {
 	case *verbose:
 		pimflow.SetVerbosity(1)
 	}
-	custom := customization{ratioStep: *ratio, stages: *stages, refine: *refine, gantt: *gantt}
+	custom := customization{ratioStep: *ratio, stages: *stages, refine: *refine, gantt: *gantt, verify: *verify}
 	if *traceOut != "" {
 		custom.trace = pimflow.NewTrace()
 	}
@@ -124,6 +133,9 @@ type customization struct {
 	stages    int
 	refine    bool
 	gantt     bool
+	// verify enables the static verification layer as a compile/run debug
+	// gate (-verify; always on in verify mode).
+	verify bool
 	// profiles, when set, backs the search with a persistent profile
 	// cache (-profile-cache).
 	profiles *pimflow.ProfileStore
@@ -151,6 +163,7 @@ func configFor(policyName string, pimCh int, c customization) (pimflow.Config, e
 		cfg.PipelineStages = c.stages
 	}
 	cfg.RefineRatio = c.refine
+	cfg.Verify = c.verify
 	cfg.Profiles = c.profiles
 	cfg.Trace = c.trace
 	cfg.Metrics = c.metrics
@@ -183,6 +196,9 @@ func run(mode, kind, net, policyName, workdir string, gpuOnly bool, pimCh int, t
 }
 
 func runWith(mode, kind, net, policyName, workdir string, gpuOnly bool, pimCh int, timeline string, c customization) error {
+	if mode == "verify" {
+		return doVerify(net, policyName, pimCh, c)
+	}
 	model, err := pimflow.BuildModel(net, pimflow.ModelOptions{Light: true})
 	if err != nil {
 		return err
@@ -200,8 +216,64 @@ func runWith(mode, kind, net, policyName, workdir string, gpuOnly bool, pimCh in
 	case "analyze":
 		return doAnalyze(model)
 	default:
-		return fmt.Errorf("unknown mode %q (want profile, solve, run, or stats)", mode)
+		return fmt.Errorf("unknown mode %q (want profile, solve, run, stats, analyze, or verify)", mode)
 	}
+}
+
+// doVerify statically verifies one built-in model (or all of them): the
+// graph-IR invariants on the untransformed model, the same invariants
+// after every transformation pass (the compile runs with the verify gate
+// on), and the PIM command-stream protocol plus workload coverage on
+// every offloaded layer's generated trace. No simulation output is
+// produced; any diagnostic fails the invocation.
+func doVerify(net, policyName string, pimCh int, c customization) error {
+	names := []string{net}
+	if net == "all" {
+		names = pimflow.ModelNames()
+	}
+	c.verify = true
+	failed := 0
+	report := func(name string, diags []pimflow.Diagnostic) {
+		failed++
+		fmt.Printf("%-20s FAIL (%d violation(s))\n", name, len(diags))
+		for _, d := range diags {
+			fmt.Printf("  %s\n", d.String())
+		}
+	}
+	for _, name := range names {
+		model, err := pimflow.BuildModel(name, pimflow.ModelOptions{Light: true})
+		if err != nil {
+			return err
+		}
+		if diags := pimflow.VerifyGraph(model); len(diags) > 0 {
+			report(name, diags)
+			continue
+		}
+		cfg, err := configFor(policyName, pimCh, c)
+		if err != nil {
+			return err
+		}
+		compiled, err := pimflow.Compile(model, cfg)
+		if err != nil {
+			return fmt.Errorf("verify %s: %w", name, err)
+		}
+		if diags := compiled.Verify(); len(diags) > 0 {
+			report(name, diags)
+			continue
+		}
+		pimNodes := 0
+		for _, d := range compiled.Plan.Decisions {
+			if d.PIMCandidate && d.GPURatio < 1 {
+				pimNodes++
+			}
+		}
+		fmt.Printf("%-20s ok (%d nodes, %d offloaded layers, policy %s)\n",
+			name, len(compiled.Graph.Nodes), pimNodes, policyName)
+	}
+	if failed > 0 {
+		return fmt.Errorf("verify: %d model(s) failed", failed)
+	}
+	return nil
 }
 
 // doAnalyze prints per-layer lowered dimensions and arithmetic intensity

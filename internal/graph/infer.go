@@ -112,6 +112,9 @@ func (g *Graph) inferNode(n *Node) error {
 		for _, d := range in[1:] {
 			rest *= d
 		}
+		if rest <= 0 {
+			return fmt.Errorf("non-positive flattened size %d for %v", rest, in)
+		}
 		g.setShape(n.Outputs[0], tensor.Shape{in[0], rest})
 		return nil
 	case OpConcat:
@@ -286,6 +289,9 @@ func (g *Graph) inferConcat(n *Node) error {
 		}
 		if i == 0 {
 			out = s.Clone()
+			if axis < 0 || axis >= len(out) {
+				return fmt.Errorf("axis %d out of range for %v", axis, out)
+			}
 			continue
 		}
 		if len(s) != len(out) {
@@ -301,8 +307,11 @@ func (g *Graph) inferConcat(n *Node) error {
 		}
 		out[axis] += s[axis]
 	}
-	if axis < 0 || axis >= len(out) {
-		return fmt.Errorf("axis %d out of range for %v", axis, out)
+	if len(out) == 0 {
+		return fmt.Errorf("concat has no inputs")
+	}
+	if out[axis] <= 0 {
+		return fmt.Errorf("non-positive concatenated dim %d", out[axis])
 	}
 	g.setShape(n.Outputs[0], out)
 	return nil
@@ -343,12 +352,25 @@ func (g *Graph) inferPad(n *Node) error {
 	if len(p) != 4 {
 		return fmt.Errorf("want pads [t,l,b,r], got %v", p)
 	}
-	g.setShape(n.Outputs[0], tensor.Shape{in[0], in[1] + p[0] + p[2], in[2] + p[1] + p[3], in[3]})
+	for _, v := range p {
+		if v < 0 {
+			return fmt.Errorf("negative pad in %v", p)
+		}
+	}
+	out := tensor.Shape{in[0], in[1] + p[0] + p[2], in[2] + p[1] + p[3], in[3]}
+	if !out.Valid() {
+		return fmt.Errorf("non-positive padded shape %v", out)
+	}
+	g.setShape(n.Outputs[0], out)
 	return nil
 }
 
-// Validate performs structural checks: unique node names, declared inputs,
-// resolvable topology, and successful shape inference on a clone.
+// Validate performs structural checks: unique node names, known operators
+// with their minimum arity, non-empty tensor references, declared graph
+// inputs and outputs, positive declared shape dimensions, resolvable
+// topology, and successful shape inference on a clone. The verify package
+// mirrors these checks with structured per-rule diagnostics; Validate is
+// the fail-fast form loaders and builders use.
 func (g *Graph) Validate() error {
 	seen := map[string]bool{}
 	for _, n := range g.Nodes {
@@ -362,10 +384,43 @@ func (g *Graph) Validate() error {
 		if len(n.Outputs) == 0 {
 			return fmt.Errorf("graph: node %q has no outputs", n.Name)
 		}
+		min, known := MinInputs(n.Op)
+		if !known {
+			return fmt.Errorf("graph: node %q has unknown op %q", n.Name, n.Op)
+		}
+		if len(n.Inputs) < min {
+			return fmt.Errorf("graph: %s %q has %d inputs, needs >= %d", n.Op, n.Name, len(n.Inputs), min)
+		}
+		for _, t := range n.Inputs {
+			if t == "" {
+				return fmt.Errorf("graph: node %q has an empty input tensor name", n.Name)
+			}
+		}
+		for _, t := range n.Outputs {
+			if t == "" {
+				return fmt.Errorf("graph: node %q has an empty output tensor name", n.Name)
+			}
+		}
+	}
+	for _, in := range g.Inputs {
+		if _, ok := g.Tensors[in]; !ok {
+			return fmt.Errorf("graph: input %q undeclared", in)
+		}
 	}
 	for _, out := range g.Outputs {
 		if _, ok := g.Tensors[out]; !ok {
 			return fmt.Errorf("graph: output %q undeclared", out)
+		}
+	}
+	for _, name := range g.TensorNames() {
+		ti := g.Tensors[name]
+		if ti.Shape == nil {
+			continue
+		}
+		for _, d := range ti.Shape {
+			if d <= 0 {
+				return fmt.Errorf("graph: tensor %q has non-positive dim in shape %v", name, ti.Shape)
+			}
 		}
 	}
 	if _, err := g.TopoSort(); err != nil {

@@ -60,8 +60,10 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	return enc.Encode(jg)
 }
 
-// ReadJSON deserializes a graph written by WriteJSON and re-infers
-// shapes.
+// ReadJSON deserializes a graph written by WriteJSON, validates it
+// structurally (Validate), and re-infers shapes. Any graph it accepts
+// satisfies the verify package's default graph invariants; the fuzz test
+// in json_fuzz_test.go holds it to that contract.
 func ReadJSON(r io.Reader) (*Graph, error) {
 	var jg jsonGraph
 	if err := json.NewDecoder(r).Decode(&jg); err != nil {
@@ -71,6 +73,14 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 	g.Inputs = jg.Inputs
 	g.Outputs = jg.Outputs
 	for _, jt := range jg.Tensors {
+		if jt.Name == "" {
+			return nil, fmt.Errorf("graph: tensor with empty name")
+		}
+		for _, d := range jt.Shape {
+			if d <= 0 {
+				return nil, fmt.Errorf("graph: tensor %q has non-positive dim in shape %v", jt.Name, jt.Shape)
+			}
+		}
 		ti := &TensorInfo{Name: jt.Name, Shape: tensor.Shape(jt.Shape), Param: jt.Param}
 		if len(jt.Data) > 0 {
 			t, err := tensor.FromSlice(jt.Data, jt.Shape...)
@@ -97,7 +107,19 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		if jn.Strs != nil {
 			n.Attrs.Strs = jn.Strs
 		}
+		// Mirror AddNode: declare output tensors the document omitted.
+		for _, out := range n.Outputs {
+			if out == "" {
+				continue // caught by Validate with a precise error
+			}
+			if _, ok := g.Tensors[out]; !ok {
+				g.Tensors[out] = &TensorInfo{Name: out}
+			}
+		}
 		g.Nodes = append(g.Nodes, n)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
 	if err := g.InferShapes(); err != nil {
 		return nil, err

@@ -113,6 +113,25 @@ func (a Attrs) SetFloat(k string, v float64) { a.Floats[k] = v }
 // SetStr stores a string attribute.
 func (a Attrs) SetStr(k, v string) { a.Strs[k] = v }
 
+// MinInputs returns the minimum input count of an operator and whether
+// the operator is known. Shape inference (and the interpreter) index
+// node inputs up to this arity unconditionally, so Validate and the
+// verify layer enforce it before inference runs.
+func MinInputs(op OpType) (int, bool) {
+	switch op {
+	case OpConv, OpGemm, OpMatMul, OpAdd, OpMul:
+		return 2, true
+	case OpBatchNorm:
+		return 5, true
+	case OpRelu, OpClip, OpSigmoid, OpSiLU, OpGelu, OpSoftmax, OpLayerNorm,
+		OpIdentity, OpTranspose, OpGlobalAvgPool, OpMaxPool, OpAvgPool,
+		OpFlatten, OpConcat, OpSlice, OpPad:
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
 // ConvParams is the decoded attribute set of a Conv node.
 type ConvParams struct {
 	KernelH, KernelW int

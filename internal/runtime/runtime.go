@@ -28,6 +28,7 @@ import (
 	"pimflow/internal/obs"
 	"pimflow/internal/pim"
 	"pimflow/internal/profcache"
+	"pimflow/internal/verify"
 )
 
 // Config describes the simulated heterogeneous system.
@@ -40,6 +41,13 @@ type Config struct {
 	PIM pim.Config
 	// Codegen selects PIM command generation options.
 	Codegen codegen.Opts
+	// VerifyTraces lints every generated PIM command trace against the
+	// §4.1 protocol rules and the workload-coverage oracle before it is
+	// simulated, failing the execution with structured diagnostics instead
+	// of silently timing an illegal command stream. A debug aid, off by
+	// default; it re-generates each offloaded node's trace, so it costs
+	// one extra codegen pass per PIM node.
+	VerifyTraces bool
 	// InterconnectBytesPerCycle is the memory-network bandwidth between
 	// channel groups used for PIM->GPU result movement.
 	InterconnectBytesPerCycle float64
@@ -280,6 +288,12 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 			w, err := codegen.NodeWorkload(g, n)
 			if err != nil {
 				return nil, fmt.Errorf("runtime: PIM node %q: %w", n.Name, err)
+			}
+			if cfg.VerifyTraces {
+				if diags := verify.Workload(w, cfg.PIM, cfg.Codegen); len(diags) > 0 {
+					verify.Record(cfg.Metrics, diags)
+					return nil, fmt.Errorf("runtime: PIM node %q: %w", n.Name, verify.AsError(diags))
+				}
 			}
 			prof, err := timePIM(w, cfg)
 			if err != nil {

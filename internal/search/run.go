@@ -11,6 +11,7 @@ import (
 	"pimflow/internal/graph"
 	"pimflow/internal/obs"
 	"pimflow/internal/transform"
+	"pimflow/internal/verify"
 )
 
 // Run executes Algorithm 1 on the graph: profile every node's execution
@@ -353,9 +354,26 @@ func chainSpan(names []string, idxOf map[string]int) (start, length int, ok bool
 // Apply transforms a clone of the graph according to the plan: chosen
 // pipeline candidates are rewritten by the pipelining pass, MD-DP nodes
 // are split, full-offload nodes are annotated for PIM, and the memory
-// optimizer elides the introduced data-movement nodes.
+// optimizer elides the introduced data-movement nodes. With
+// plan.Options.Verify set, the graph-IR invariant checker runs after
+// every pass and aborts on the first violation, naming the pass that
+// introduced it.
 func Apply(g *graph.Graph, plan *Plan) (*graph.Graph, error) {
+	verifyStep := func(out *graph.Graph, step string) error {
+		if !plan.Options.Verify {
+			return nil
+		}
+		diags := verify.Graph(out)
+		verify.Record(plan.Options.Metrics, diags)
+		if err := verify.AsError(diags); err != nil {
+			return fmt.Errorf("search: graph invariants violated %s: %w", step, err)
+		}
+		return nil
+	}
 	out := g.Clone()
+	if err := verifyStep(out, "before transformation"); err != nil {
+		return nil, err
+	}
 	pipelined := map[string]bool{}
 	groupID := 0
 	for _, pd := range plan.Pipelines {
@@ -364,6 +382,9 @@ func Apply(g *graph.Graph, plan *Plan) (*graph.Graph, error) {
 		}
 		if err := transform.PipelineChain(out, pd.Candidate.Nodes, pd.Stages, groupID); err != nil {
 			return nil, fmt.Errorf("search: apply pipeline %v: %w", pd.Candidate.Nodes, err)
+		}
+		if err := verifyStep(out, fmt.Sprintf("after pipelining %v", pd.Candidate.Nodes)); err != nil {
+			return nil, err
 		}
 		groupID++
 		for _, n := range pd.Candidate.Nodes {
@@ -387,10 +408,16 @@ func Apply(g *graph.Graph, plan *Plan) (*graph.Graph, error) {
 			if err := transform.SplitMDDP(out, d.Node, d.GPURatio); err != nil {
 				return nil, fmt.Errorf("search: apply split %q: %w", d.Node, err)
 			}
+			if err := verifyStep(out, fmt.Sprintf("after MD-DP split of %q", d.Node)); err != nil {
+				return nil, err
+			}
 		}
 	}
 	transform.ElideDataMovement(out)
 	if err := out.InferShapes(); err != nil {
+		return nil, err
+	}
+	if err := verifyStep(out, "after data-movement elision"); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -92,6 +92,13 @@ type Options struct {
 	// LayerDecision, for offline analysis of the search curves (the
 	// artifact's PIMFlow/layerwise profiling data).
 	KeepSamples bool
+	// Verify enables the static verification layer as a debug gate: the
+	// graph-IR invariant checker runs after every transformation pass in
+	// Apply, and (through RuntimeConfig) the runtime lints every generated
+	// PIM command trace before simulating it. A violation aborts with the
+	// structured diagnostics instead of letting a malformed graph or
+	// illegal trace skew the simulation. Off by default.
+	Verify bool
 	// Profiles optionally shares a profile store across Run calls (the
 	// paper's metadata log, §4.2.2): PIM trace simulations and GPU
 	// roofline timings are recalled instead of re-simulated whenever the
@@ -150,6 +157,7 @@ func (o Options) RuntimeConfig() runtime.Config {
 	cfg.Profiles = o.Profiles
 	cfg.Trace = o.Trace
 	cfg.Metrics = o.Metrics
+	cfg.VerifyTraces = o.Verify
 	return cfg
 }
 

@@ -1,0 +1,72 @@
+package verify_test
+
+import (
+	"testing"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/graph"
+	"pimflow/internal/models"
+	"pimflow/internal/search"
+	"pimflow/internal/transform"
+	"pimflow/internal/verify"
+)
+
+// TestPaperModelsVerifyAcrossPasses is the issue's acceptance criterion:
+// every evaluated CNN (plus the toy model) passes the graph checker at
+// every point of the compilation pipeline — as built, after BatchNorm
+// folding, and after the full search-and-apply — and every trace codegen
+// emits for its offloaded layers passes the command-stream linter.
+func TestPaperModelsVerifyAcrossPasses(t *testing.T) {
+	names := append(models.EvaluatedCNNs(), "toy")
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := models.Build(name, models.Options{Light: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diags := verify.Graph(g); len(diags) != 0 {
+				t.Fatalf("as built:\n%v", verify.AsError(diags))
+			}
+			if _, err := transform.FoldBatchNorm(g); err != nil {
+				t.Fatal(err)
+			}
+			if diags := verify.Graph(g); len(diags) != 0 {
+				t.Fatalf("after BN fold:\n%v", verify.AsError(diags))
+			}
+
+			// Full compile with the verify gate on: Apply re-checks the
+			// graph after every transformation pass internally, and the
+			// runtime lints every trace the profiler simulates.
+			opts := search.DefaultOptions(search.PolicyPIMFlow)
+			opts.Verify = true
+			out, plan, err := search.Compile(g, opts)
+			if err != nil {
+				t.Fatalf("compile with verify gate: %v", err)
+			}
+			if diags := verify.Graph(out); len(diags) != 0 {
+				t.Fatalf("after apply:\n%v", verify.AsError(diags))
+			}
+
+			// Lint every offloaded layer's generated trace end to end.
+			rc := plan.Options.RuntimeConfig()
+			linted := 0
+			for _, n := range out.Nodes {
+				if n.Exec.Device != graph.DevicePIM || !out.IsPIMCandidate(n) {
+					continue
+				}
+				w, err := codegen.NodeWorkload(out, n)
+				if err != nil {
+					t.Fatalf("node %q workload: %v", n.Name, err)
+				}
+				if diags := verify.Workload(w, rc.PIM, rc.Codegen); len(diags) != 0 {
+					t.Errorf("node %q trace:\n%v", n.Name, verify.AsError(diags))
+				}
+				linted++
+			}
+			if name != "toy" && linted == 0 {
+				t.Errorf("expected at least one offloaded layer in %s", name)
+			}
+		})
+	}
+}

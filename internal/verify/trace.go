@@ -1,0 +1,235 @@
+package verify
+
+import (
+	"fmt"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/pim"
+)
+
+// Trace lints a PIM command trace against the Newton/AiM protocol
+// (paper §4.1), walking each channel's stream as a state machine:
+//
+//   - a GWRITE variant must fill the global buffer before any COMP
+//     consumes it, and must fit the channel's buffer capacity;
+//   - a G_ACT must open a weight row before any COMP streams column I/Os
+//     (G_ACT before GWRITE is legal — that is the §4.1 latency-hiding
+//     overlap);
+//   - READRES drains result latches, so it needs at least one COMP since
+//     the buffer was last filled, and every COMP must eventually be
+//     drained before the channel ends.
+//
+// Each violation carries the channel, command index, and command kind.
+func Trace(tr *pim.Trace, cfg pim.Config) []Diagnostic {
+	if tr == nil || len(tr.Channels) == 0 {
+		return []Diagnostic{{Rule: RuleTraceEmpty, Channel: -1, Index: -1,
+			Msg: "trace has no channel streams"}}
+	}
+	var diags []Diagnostic
+	seen := map[int]bool{}
+	for _, ct := range tr.Channels {
+		if ct.Channel < 0 || ct.Channel >= cfg.Channels {
+			diags = append(diags, Diagnostic{Rule: RuleTraceChannel, Channel: ct.Channel, Index: -1,
+				Msg: fmt.Sprintf("channel id outside configured 0..%d", cfg.Channels-1)})
+		}
+		if seen[ct.Channel] {
+			diags = append(diags, Diagnostic{Rule: RuleTraceChannelDup, Channel: ct.Channel, Index: -1,
+				Msg: "channel appears more than once in the trace"})
+		}
+		seen[ct.Channel] = true
+		diags = append(diags, lintChannel(ct, cfg)...)
+	}
+	return diags
+}
+
+// lintChannel runs the per-channel protocol state machine.
+func lintChannel(ct pim.ChannelTrace, cfg pim.Config) []Diagnostic {
+	var diags []Diagnostic
+	bad := func(rule string, i int, cmd pim.Command, msg string) {
+		diags = append(diags, Diagnostic{
+			Rule: rule, Channel: ct.Channel, Index: i, Command: cmd.Kind.String(), Msg: msg,
+		})
+	}
+	// One GWRITE may fill every configured buffer, each transfer rounded
+	// up to whole bursts.
+	bufCapBursts := cfg.GlobalBufs * ceilDiv(cfg.GlobalBufBytes, cfg.BurstBytes)
+
+	bufFilled := false  // some GWRITE variant has loaded the global buffer
+	rowOpen := false    // some G_ACT has activated a weight row
+	compsSinceGW := 0   // COMP commands since the last buffer (re)fill
+	undrainedComps := 0 // COMP commands since the last READRES
+	lastUndrained := -1 // index of the newest undrained COMP
+	for i, cmd := range ct.Commands {
+		switch {
+		case cmd.Kind.IsGWrite():
+			if cmd.Kind == pim.KindGWrite2 && cfg.GlobalBufs < 2 {
+				bad(RuleTraceGWBufs, i, cmd, fmt.Sprintf("GWRITE_2 with %d configured buffer(s)", cfg.GlobalBufs))
+			}
+			if cmd.Kind == pim.KindGWrite4 && cfg.GlobalBufs < 4 {
+				bad(RuleTraceGWBufs, i, cmd, fmt.Sprintf("GWRITE_4 with %d configured buffer(s)", cfg.GlobalBufs))
+			}
+			if cmd.Bursts < 1 {
+				bad(RuleTraceBursts, i, cmd, fmt.Sprintf("GWRITE moves %d bursts, want >= 1", cmd.Bursts))
+			} else if cmd.Bursts > bufCapBursts {
+				bad(RuleTraceGWOverflow, i, cmd, fmt.Sprintf(
+					"GWRITE of %d bursts overflows %d buffer(s) of %d bytes (%d bursts)",
+					cmd.Bursts, cfg.GlobalBufs, cfg.GlobalBufBytes, bufCapBursts))
+			}
+			bufFilled = true
+			compsSinceGW = 0
+		case cmd.Kind == pim.KindGAct:
+			rowOpen = true
+		case cmd.Kind == pim.KindComp:
+			if !bufFilled {
+				bad(RuleTraceCompNoBuf, i, cmd, "COMP before any GWRITE filled the global buffer")
+			}
+			if !rowOpen {
+				bad(RuleTraceCompNoAct, i, cmd, "COMP before any G_ACT opened a weight row")
+			}
+			if cmd.Cols < 1 || cmd.Cols > cfg.ColumnIOsPerRow {
+				bad(RuleTraceCompCols, i, cmd, fmt.Sprintf(
+					"COMP streams %d column I/Os, want 1..%d", cmd.Cols, cfg.ColumnIOsPerRow))
+			}
+			compsSinceGW++
+			undrainedComps++
+			lastUndrained = i
+		case cmd.Kind == pim.KindReadRes:
+			if compsSinceGW == 0 {
+				bad(RuleTraceRRNoComp, i, cmd, "READRES with no COMP accumulated since the last buffer fill")
+			}
+			if cmd.Bursts < 1 {
+				bad(RuleTraceBursts, i, cmd, fmt.Sprintf("READRES drains %d bursts, want >= 1", cmd.Bursts))
+			}
+			undrainedComps = 0
+		default:
+			bad(RuleTraceKind, i, cmd, fmt.Sprintf("unknown command kind %d", uint8(cmd.Kind)))
+		}
+	}
+	if undrainedComps > 0 {
+		diags = append(diags, Diagnostic{
+			Rule: RuleTraceDrain, Channel: ct.Channel, Index: lastUndrained, Command: pim.KindComp.String(),
+			Msg: fmt.Sprintf("channel ends with %d COMP command(s) never drained by a READRES", undrainedComps),
+		})
+	}
+	return diags
+}
+
+// totals is the workload-coverage oracle: the command volumes any correct
+// per-channel distribution must produce, computed from the workload
+// arithmetic independently of codegen's scheduler.
+type totals struct {
+	colIOs   int64 // total column I/Os across all COMPs
+	readRes  int64 // total READRES commands
+	rrBursts int64 // total READRES data bursts
+	gwMin    int64 // lower bound on GWRITE bursts (each chunk loaded once)
+}
+
+// expectedTotals mirrors the workload decomposition (paper §4.3.1, Fig 6)
+// from first principles: M input vectors in groups of GlobalBufs, N
+// outputs in groups of one lane per bank, K in chunks bounded by the
+// global-buffer capacity (or one row activation at COMP granularity when
+// the unit count cannot occupy every channel). It deliberately does not
+// call into codegen's scheduler, so scheduler bugs that drop or duplicate
+// work show up as a mismatch.
+func expectedTotals(w codegen.Workload, cfg pim.Config, opts codegen.Opts) totals {
+	nb := cfg.GlobalBufs
+	lanes := cfg.LanesPerChannel()
+	elemsPerColIO := cfg.ColumnIOBytes / 2
+	kPerAct := cfg.ColumnIOsPerRow * elemsPerColIO
+	kChunkLen := cfg.BufElems()
+	if opts.Granularity == codegen.GranComp && w.K > kPerAct &&
+		ceilDiv(w.M, nb)*ceilDiv(w.N, lanes) < cfg.Channels {
+		kChunkLen = kPerAct
+	}
+	if kChunkLen > w.K {
+		kChunkLen = w.K
+	}
+
+	var nKChunks, colIOsPerVec int64
+	for ks := 0; ks < w.K; ks += kChunkLen {
+		kl := kChunkLen
+		if ks+kl > w.K {
+			kl = w.K - ks
+		}
+		nKChunks++
+		colIOsPerVec += int64(ceilDiv(kl, elemsPerColIO))
+	}
+
+	nOutGroups := ceilDiv(w.N, lanes)
+	rrBurstsOf := func(outLanes int) int64 {
+		b := ceilDiv(outLanes*4, cfg.BurstBytes)
+		if b < 1 {
+			b = 1
+		}
+		return int64(b)
+	}
+	var perVecRRBursts int64
+	for og := 0; og < nOutGroups; og++ {
+		ol := lanes
+		if (og+1)*lanes > w.N {
+			ol = w.N - og*lanes
+		}
+		perVecRRBursts += rrBurstsOf(ol)
+	}
+
+	var gwMin int64
+	for vg := 0; vg < ceilDiv(w.M, nb); vg++ {
+		nv := nb
+		if (vg+1)*nb > w.M {
+			nv = w.M - vg*nb
+		}
+		for ks := 0; ks < w.K; ks += kChunkLen {
+			kl := kChunkLen
+			if ks+kl > w.K {
+				kl = w.K - ks
+			}
+			gwMin += int64(nv * ceilDiv(kl*2, cfg.BurstBytes))
+		}
+	}
+
+	return totals{
+		colIOs:   int64(w.M) * int64(nOutGroups) * colIOsPerVec,
+		readRes:  int64(w.M) * int64(nOutGroups) * nKChunks,
+		rrBursts: int64(w.M) * nKChunks * perVecRRBursts,
+		gwMin:    gwMin,
+	}
+}
+
+// Workload generates the command trace for one PIM workload and verifies
+// it end to end: the per-channel protocol rules (Trace) plus workload
+// coverage (TR-COVER) — the distributed command volumes must add up to
+// what the workload requires, computed by an independent oracle. Grouped
+// workloads verify one group's trace; the groups are identical.
+func Workload(w codegen.Workload, cfg pim.Config, opts codegen.Opts) []Diagnostic {
+	w.Groups = 0
+	tr, err := codegen.Generate(w, cfg, opts)
+	if err != nil {
+		return []Diagnostic{{Rule: RuleTraceCover, Channel: -1, Index: -1,
+			Msg: fmt.Sprintf("trace generation failed: %v", err)}}
+	}
+	diags := Trace(tr, cfg)
+
+	var got pim.Counts
+	for _, ct := range tr.Channels {
+		got.Add(pim.CountOf(ct))
+	}
+	want := expectedTotals(w, cfg, opts)
+	cover := func(msg string) {
+		diags = append(diags, Diagnostic{Rule: RuleTraceCover, Channel: -1, Index: -1, Msg: msg})
+	}
+	if got.ColIOs != want.colIOs {
+		cover(fmt.Sprintf("trace streams %d column I/Os, workload %+v needs %d", got.ColIOs, w, want.colIOs))
+	}
+	if got.ReadRes != want.readRes {
+		cover(fmt.Sprintf("trace drains %d READRES commands, workload %+v needs %d", got.ReadRes, w, want.readRes))
+	}
+	if got.RRBursts != want.rrBursts {
+		cover(fmt.Sprintf("trace drains %d result bursts, workload %+v needs %d", got.RRBursts, w, want.rrBursts))
+	}
+	if got.GWBursts < want.gwMin {
+		cover(fmt.Sprintf("trace writes %d input bursts, workload %+v needs at least %d", got.GWBursts, w, want.gwMin))
+	}
+	return diags
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

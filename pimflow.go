@@ -36,6 +36,7 @@ import (
 	"pimflow/internal/search"
 	"pimflow/internal/tensor"
 	"pimflow/internal/transform"
+	"pimflow/internal/verify"
 )
 
 // Graph is a model computation graph (ONNX-like IR).
@@ -193,6 +194,54 @@ func ApplyPlan(model *Graph, plan *Plan) (*CompiledModel, error) {
 // Energy computes the energy of a report under the default energy model.
 func Energy(rep *Report) (EnergyBreakdown, error) {
 	return energy.OfReport(rep, energy.DefaultParams())
+}
+
+// Diagnostic is one structured finding from the static verification
+// layer: the violated rule ID plus the node, tensor, channel, or command
+// it anchors to.
+type Diagnostic = verify.Diagnostic
+
+// VerifyRule documents one rule of the static verification layer.
+type VerifyRule = verify.Rule
+
+// VerifyRules returns the verification rule catalogue — every graph-IR
+// invariant and PIM command-stream protocol rule, with its rule ID — in
+// stable documentation order.
+func VerifyRules() []VerifyRule { return verify.Rules() }
+
+// VerifyGraph checks a model graph against the IR invariants (structural
+// well-formedness, shape consistency, MD-DP and pipeline soundness) and
+// returns the violations, empty when the graph is clean. Setting
+// Config.Verify runs the same checker automatically after every
+// transformation pass during compilation.
+func VerifyGraph(g *Graph) []Diagnostic { return verify.Graph(g) }
+
+// Verify statically checks the compiled model end to end: the
+// transformed graph against the IR invariants, then every offloaded
+// layer's generated PIM command trace against the §4.1 protocol state
+// machine and the workload-coverage oracle. It returns all violations,
+// empty when the model is clean; nothing is simulated.
+func (c *CompiledModel) Verify() []Diagnostic {
+	diags := verify.Graph(c.Graph)
+	rc := c.Config.RuntimeConfig()
+	for _, n := range c.Graph.Nodes {
+		if n.Exec.Device != graph.DevicePIM || !c.Graph.IsPIMCandidate(n) {
+			continue
+		}
+		w, err := codegen.NodeWorkload(c.Graph, n)
+		if err != nil {
+			diags = append(diags, Diagnostic{
+				Rule: verify.RuleTraceCover, Node: n.Name, Channel: -1, Index: -1,
+				Msg: fmt.Sprintf("workload lowering failed: %v", err),
+			})
+			continue
+		}
+		for _, d := range verify.Workload(w, rc.PIM, rc.Codegen) {
+			d.Node = n.Name
+			diags = append(diags, d)
+		}
+	}
+	return diags
 }
 
 // Execute is a convenience wrapper: compile under the policy's default
