@@ -35,8 +35,16 @@ FUZZ_TIME ?= 20s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime $(FUZZ_TIME) ./internal/graph
 
+# Full benchmark sweep: harness figures plus the in-package engine
+# benchmarks. Results are merged into $(BENCH_JSON) under $(BENCH_LABEL)
+# (machine-readable ns/op, B/op, allocs/op) by cmd/pimflow-bench; the
+# raw go test output still streams through to the terminal.
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_LABEL ?= after
+
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . ./internal/pim ./internal/codegen | \
+		$(GO) run ./cmd/pimflow-bench -label $(BENCH_LABEL) -out $(BENCH_JSON)
 
 # Regenerate the paper-evaluation report (must stay byte-identical to the
 # committed experiments_report.txt regardless of profile-cache warmth).

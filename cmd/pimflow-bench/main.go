@@ -1,0 +1,115 @@
+// Command pimflow-bench turns `go test -bench` output into a
+// machine-readable performance snapshot. It reads benchmark output on
+// stdin, passes it through unchanged to stdout, and merges the parsed
+// results into a JSON file keyed by label (e.g. "before" / "after") so
+// successive runs build up a comparable record:
+//
+//	go test -run '^$' -bench . -benchmem ./... | pimflow-bench -label after -out BENCH_PR4.json
+//
+// Each entry maps the benchmark name (CPU-count suffix stripped) to
+// ns/op, B/op, and allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFig13_ChannelRatio-8  1  1815530219 ns/op  5086341584 B/op  1075671 allocs/op
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := cpuSuffix.ReplaceAllString(fields[0], "")
+	var r Result
+	seen := false
+	// Fields after the iteration count come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return name, r, seen
+}
+
+func run(label, out string) error {
+	results := map[string]map[string]Result{}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &results); err != nil {
+			return fmt.Errorf("parse existing %s: %w", out, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	section := results[label]
+	if section == nil {
+		section = map[string]Result{}
+		results[label] = section
+	}
+
+	parsed := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if name, r, ok := parseLine(line); ok {
+			section[name] = r
+			parsed++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if parsed == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pimflow-bench: recorded %d benchmarks under %q in %s\n", parsed, label, out)
+	return nil
+}
+
+func main() {
+	label := flag.String("label", "after", "section of the JSON file to record results under")
+	out := flag.String("out", "BENCH_PR4.json", "JSON snapshot file to merge results into")
+	flag.Parse()
+	if err := run(*label, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "pimflow-bench:", err)
+		os.Exit(1)
+	}
+}

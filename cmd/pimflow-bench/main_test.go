@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkFig13_ChannelRatio-8  \t1\t1815530219 ns/op\t5086341584 B/op\t 1075671 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "BenchmarkFig13_ChannelRatio" {
+		t.Errorf("name %q, want CPU suffix stripped", name)
+	}
+	if r.NsPerOp != 1815530219 || r.BytesPerOp != 5086341584 || r.AllocsPerOp != 1075671 {
+		t.Errorf("parsed %+v", r)
+	}
+
+	// Without -benchmem only ns/op appears.
+	name, r, ok = parseLine("BenchmarkModelBuildVGG16 \t 10000\t105869 ns/op")
+	if !ok || name != "BenchmarkModelBuildVGG16" || r.NsPerOp != 105869 || r.BytesPerOp != 0 {
+		t.Errorf("parsed %q %+v ok=%v", name, r, ok)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: pimflow/internal/pim",
+		"PASS",
+		"ok  \tpimflow\t1.2s",
+		"BenchmarkBroken x y",
+		"",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("non-benchmark line parsed: %q", line)
+		}
+	}
+}

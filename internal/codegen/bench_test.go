@@ -1,0 +1,60 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/pim"
+)
+
+// benchWorkload is a conv-like lowering (the Fig 10 MobileNetV2
+// projection shape) — representative of what one Algorithm 1 probe times.
+var benchWorkload = codegen.Workload{M: 196, K: 576, N: 160, Segments: 3}
+
+// BenchmarkGenerate measures materializing the full command trace — the
+// O(commands) path timing probes no longer take.
+func BenchmarkGenerate(b *testing.B) {
+	cfg := pim.DefaultConfig()
+	opts := codegen.DefaultOpts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Generate(benchWorkload, cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeWorkloadStreaming measures one streamed timing probe:
+// command generation fused into the timing engine, O(channels)
+// allocation.
+func BenchmarkTimeWorkloadStreaming(b *testing.B) {
+	cfg := pim.DefaultConfig()
+	opts := codegen.DefaultOpts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.TimeWorkload(benchWorkload, cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeWorkloadMaterialized is the pre-streaming equivalent
+// (Generate + Simulate), kept as the in-package reference the streaming
+// win is measured against.
+func BenchmarkTimeWorkloadMaterialized(b *testing.B) {
+	cfg := pim.DefaultConfig()
+	opts := codegen.DefaultOpts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := codegen.Generate(benchWorkload, cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pim.Simulate(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

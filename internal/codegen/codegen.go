@@ -11,11 +11,18 @@
 // channel-level parallelism for small matrices. The command optimizations
 // of §4.1 — multiple global buffers (GWRITE_2/GWRITE_4 with G_ACT reuse)
 // and strided GWRITE — are applied according to the PIM configuration.
+//
+// Commands are produced through the pim.Sink interface: Stream fuses
+// generation into whatever consumes the commands, so timing probes
+// (TimeWorkload) simulate the stream without ever materializing it, while
+// Generate materializes a pim.Trace for the consumers that genuinely need
+// one (dump listings, the verify linter, event recording).
 package codegen
 
 import (
 	"fmt"
 	"log/slog"
+	"sync"
 
 	"pimflow/internal/obs"
 	"pimflow/internal/pim"
@@ -112,66 +119,35 @@ type unit struct {
 	kLen     int // length of the K range
 }
 
-// Generate builds the per-channel command trace for the workload.
-func Generate(w Workload, cfg pim.Config, opts Opts) (*pim.Trace, error) {
-	units, err := scheduleUnits(w, cfg, opts)
-	if err != nil {
-		return nil, err
-	}
+// plan is the workload's unit decomposition and channel assignment in
+// closed form: every quantity a unit needs is computable from its
+// (vector group, K-chunk, output group) coordinates, so the schedule can
+// be walked without materializing a unit slice. Unit order is vector
+// group -> K-chunk -> output group, so that all output groups sharing one
+// buffered K-chunk are consecutive and the channel reuses a single GWRITE
+// across them.
+type plan struct {
+	w    Workload
+	cfg  pim.Config
+	opts Opts
 
-	tr := &pim.Trace{}
-	for ch := 0; ch < cfg.Channels; ch++ {
-		if len(units[ch]) == 0 {
-			continue
-		}
-		ct := pim.ChannelTrace{Channel: ch}
-		lastVecGroup, lastKStart := -1, -1
-		for _, u := range units[ch] {
-			// GWRITE the vector group's K-chunk unless this channel just
-			// loaded the same chunk (consecutive output groups reuse it).
-			if u.vecGroup != lastVecGroup || u.kStart != lastKStart {
-				emitGWrite(&ct, w, cfg, opts, u)
-				lastVecGroup, lastKStart = u.vecGroup, u.kStart
-			}
-			// Activate rows and stream COMPs over this K-chunk.
-			colIOs := ceilDiv(u.kLen, cfg.ColumnIOBytes/2)
-			for done := 0; done < colIOs; {
-				cols := cfg.ColumnIOsPerRow
-				if done+cols > colIOs {
-					cols = colIOs - done
-				}
-				ct.Commands = append(ct.Commands, pim.Command{Kind: pim.KindGAct, NewRow: true})
-				for v := 0; v < u.nVecs; v++ {
-					ct.Commands = append(ct.Commands, pim.Command{Kind: pim.KindComp, Cols: cols})
-				}
-				done += cols
-			}
-			// Drain results: one READRES per vector. Partial K-chunks
-			// (GranComp splits) also drain so the GPU can merge partial
-			// sums — the merge cost is the extra READRES traffic.
-			resBursts := ceilDiv(u.outLanes*4, cfg.BurstBytes)
-			if resBursts < 1 {
-				resBursts = 1
-			}
-			for v := 0; v < u.nVecs; v++ {
-				ct.Commands = append(ct.Commands, pim.Command{Kind: pim.KindReadRes, Bursts: resBursts})
-			}
-		}
-		tr.Channels = append(tr.Channels, ct)
-	}
-	return tr, nil
+	kChunkLen  int
+	nVecGroups int
+	nKChunks   int
+	nOutGroups int
+	nUnits     int
+	// per is the contiguous unit-run length per channel at GranReadRes and
+	// GranComp; 0 marks the GranGAct modulo assignment.
+	per int
 }
 
-// scheduleUnits decomposes the workload into schedulable units and
-// assigns them to channels per the scheduling granularity. Both trace
-// generation and the functional executor consume the same plan, so the
-// timing model and the numerics are guaranteed to agree on coverage.
-func scheduleUnits(w Workload, cfg pim.Config, opts Opts) ([][]unit, error) {
+// newPlan validates the inputs and computes the unit decomposition.
+func newPlan(w Workload, cfg pim.Config, opts Opts) (plan, error) {
 	if err := w.Validate(); err != nil {
-		return nil, err
+		return plan{}, err
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return plan{}, err
 	}
 	nb := cfg.GlobalBufs
 	lanes := cfg.LanesPerChannel()
@@ -193,64 +169,201 @@ func scheduleUnits(w Workload, cfg pim.Config, opts Opts) ([][]unit, error) {
 		kChunkLen = w.K
 	}
 
-	var units []unit
-	nVecGroups := ceilDiv(w.M, nb)
-	nOutGroups := ceilDiv(w.N, lanes)
-	// Unit order is vector group -> K-chunk -> output group, so that all
-	// output groups sharing one buffered K-chunk are consecutive and the
-	// channel reuses a single GWRITE across them.
-	for vg := 0; vg < nVecGroups; vg++ {
-		nv := nb
-		if (vg+1)*nb > w.M {
-			nv = w.M - vg*nb
-		}
-		for ks := 0; ks < w.K; ks += kChunkLen {
-			kl := kChunkLen
-			if ks+kl > w.K {
-				kl = w.K - ks
-			}
-			for og := 0; og < nOutGroups; og++ {
-				ol := lanes
-				if (og+1)*lanes > w.N {
-					ol = w.N - og*lanes
+	p := plan{
+		w: w, cfg: cfg, opts: opts,
+		kChunkLen:  kChunkLen,
+		nVecGroups: ceilDiv(w.M, nb),
+		nKChunks:   ceilDiv(w.K, kChunkLen),
+		nOutGroups: ceilDiv(w.N, lanes),
+	}
+	p.nUnits = p.nVecGroups * p.nKChunks * p.nOutGroups
+	switch opts.Granularity {
+	case GranGAct:
+		p.per = 0
+	case GranReadRes, GranComp:
+		// Contiguous equal chunking: slicing the ordered unit sequence into
+		// equal contiguous runs balances channel loads while keeping the
+		// units that share one GWRITEd buffer chunk on the same channel (at
+		// most one run boundary splits a chunk's output groups).
+		p.per = ceilDiv(p.nUnits, cfg.Channels)
+	default:
+		return plan{}, fmt.Errorf("codegen: unknown granularity %d", opts.Granularity)
+	}
+	return p, nil
+}
+
+// makeUnit builds the unit at coordinates (vg, ksIdx, og).
+func (p *plan) makeUnit(vg, ksIdx, og int) unit {
+	nb := p.cfg.GlobalBufs
+	lanes := p.cfg.LanesPerChannel()
+	nv := nb
+	if (vg+1)*nb > p.w.M {
+		nv = p.w.M - vg*nb
+	}
+	ks := ksIdx * p.kChunkLen
+	kl := p.kChunkLen
+	if ks+kl > p.w.K {
+		kl = p.w.K - ks
+	}
+	ol := lanes
+	if (og+1)*lanes > p.w.N {
+		ol = p.w.N - og*lanes
+	}
+	return unit{vecGroup: vg, nVecs: nv, ogIndex: og, outLanes: ol, kStart: ks, kLen: kl}
+}
+
+// forEachUnit walks channel ch's units in schedule order. The iteration
+// is closed-form — no unit slice exists — so a streaming caller touches
+// O(1) memory per unit.
+func (p *plan) forEachUnit(ch int, fn func(unit)) {
+	if p.per == 0 {
+		// GranGAct: partition along output groups only (ogIndex mod
+		// channels); every channel owning an output group processes all
+		// vector groups for it, in global unit order.
+		for vg := 0; vg < p.nVecGroups; vg++ {
+			for ks := 0; ks < p.nKChunks; ks++ {
+				for og := ch; og < p.nOutGroups; og += p.cfg.Channels {
+					fn(p.makeUnit(vg, ks, og))
 				}
-				units = append(units, unit{
-					vecGroup: vg, nVecs: nv, ogIndex: og, outLanes: ol,
-					kStart: ks, kLen: kl,
-				})
+			}
+		}
+		return
+	}
+	lo := ch * p.per
+	hi := lo + p.per
+	if hi > p.nUnits {
+		hi = p.nUnits
+	}
+	if lo >= hi {
+		return
+	}
+	og := lo % p.nOutGroups
+	rest := lo / p.nOutGroups
+	ks := rest % p.nKChunks
+	vg := rest / p.nKChunks
+	for i := lo; i < hi; i++ {
+		fn(p.makeUnit(vg, ks, og))
+		if og++; og == p.nOutGroups {
+			og = 0
+			if ks++; ks == p.nKChunks {
+				ks = 0
+				vg++
 			}
 		}
 	}
+}
 
-	// Assign units to channels per the scheduling granularity.
-	nCh := cfg.Channels
-	assign := make([][]unit, nCh)
-	switch opts.Granularity {
-	case GranGAct:
-		// Partition along output groups only; every channel owning an
-		// output group processes all vector groups for it.
-		for _, u := range units {
-			assign[u.ogIndex%nCh] = append(assign[u.ogIndex%nCh], u)
+// channelUnits reports how many units channel ch owns.
+func (p *plan) channelUnits(ch int) int {
+	if p.per == 0 {
+		if ch >= p.nOutGroups {
+			return 0
 		}
-	case GranReadRes, GranComp:
-		// Contiguous equal chunking: the unit list is ordered
-		// (vector group, K-chunk, output group), so slicing it into equal
-		// contiguous runs balances channel loads while keeping the units
-		// that share one GWRITEd buffer chunk on the same channel (at most
-		// one run boundary splits a chunk's output groups).
-		per := ceilDiv(len(units), nCh)
-		for i, u := range units {
-			assign[i/per] = append(assign[i/per], u)
+		nOgs := (p.nOutGroups - ch + p.cfg.Channels - 1) / p.cfg.Channels
+		return p.nVecGroups * p.nKChunks * nOgs
+	}
+	lo := ch * p.per
+	hi := lo + p.per
+	if hi > p.nUnits {
+		hi = p.nUnits
+	}
+	if lo >= hi {
+		return 0
+	}
+	return hi - lo
+}
+
+// Stream emits the workload's per-channel command streams into sink in
+// channel order, fusing generation with consumption: nothing is buffered,
+// so a timing sink (pim.StreamSim) simulates the kernel without the trace
+// ever existing. Channels with no assigned units are skipped, matching
+// the materialized trace layout exactly.
+func Stream(w Workload, cfg pim.Config, opts Opts, sink pim.Sink) error {
+	p, err := newPlan(w, cfg, opts)
+	if err != nil {
+		return err
+	}
+	for ch := 0; ch < cfg.Channels; ch++ {
+		if p.channelUnits(ch) == 0 {
+			continue
 		}
-	default:
-		return nil, fmt.Errorf("codegen: unknown granularity %d", opts.Granularity)
+		sink.BeginChannel(ch)
+		streamChannel(&p, ch, sink)
+	}
+	return nil
+}
+
+// streamChannel emits one channel's commands for its assigned units.
+func streamChannel(p *plan, ch int, sink pim.Sink) {
+	w, cfg, opts := p.w, p.cfg, p.opts
+	lastVecGroup, lastKStart := -1, -1
+	p.forEachUnit(ch, func(u unit) {
+		// GWRITE the vector group's K-chunk unless this channel just
+		// loaded the same chunk (consecutive output groups reuse it).
+		if u.vecGroup != lastVecGroup || u.kStart != lastKStart {
+			emitGWrite(sink, w, cfg, opts, u)
+			lastVecGroup, lastKStart = u.vecGroup, u.kStart
+		}
+		// Activate rows and stream COMPs over this K-chunk.
+		colIOs := ceilDiv(u.kLen, cfg.ColumnIOBytes/2)
+		for done := 0; done < colIOs; {
+			cols := cfg.ColumnIOsPerRow
+			if done+cols > colIOs {
+				cols = colIOs - done
+			}
+			sink.Emit(pim.Command{Kind: pim.KindGAct, NewRow: true})
+			for v := 0; v < u.nVecs; v++ {
+				sink.Emit(pim.Command{Kind: pim.KindComp, Cols: cols})
+			}
+			done += cols
+		}
+		// Drain results: one READRES per vector. Partial K-chunks
+		// (GranComp splits) also drain so the GPU can merge partial
+		// sums — the merge cost is the extra READRES traffic.
+		resBursts := ceilDiv(u.outLanes*4, cfg.BurstBytes)
+		if resBursts < 1 {
+			resBursts = 1
+		}
+		for v := 0; v < u.nVecs; v++ {
+			sink.Emit(pim.Command{Kind: pim.KindReadRes, Bursts: resBursts})
+		}
+	})
+}
+
+// Generate builds the per-channel command trace for the workload — the
+// materialized form of Stream, for consumers that inspect or lint the
+// trace itself.
+func Generate(w Workload, cfg pim.Config, opts Opts) (*pim.Trace, error) {
+	var ts pim.TraceSink
+	if err := Stream(w, cfg, opts, &ts); err != nil {
+		return nil, err
+	}
+	return &ts.Trace, nil
+}
+
+// scheduleUnits materializes the per-channel unit assignment. The
+// functional executor consumes the same plan the command stream walks, so
+// the timing model and the numerics are guaranteed to agree on coverage.
+func scheduleUnits(w Workload, cfg pim.Config, opts Opts) ([][]unit, error) {
+	p, err := newPlan(w, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	assign := make([][]unit, cfg.Channels)
+	for ch := 0; ch < cfg.Channels; ch++ {
+		if n := p.channelUnits(ch); n > 0 {
+			assign[ch] = make([]unit, 0, n)
+			p.forEachUnit(ch, func(u unit) {
+				assign[ch] = append(assign[ch], u)
+			})
+		}
 	}
 	return assign, nil
 }
 
-// emitGWrite appends the GWRITE command(s) that load one vector group's
+// emitGWrite emits the GWRITE command(s) that load one vector group's
 // K-chunk into the channel's global buffers.
-func emitGWrite(ct *pim.ChannelTrace, w Workload, cfg pim.Config, opts Opts, u unit) {
+func emitGWrite(sink pim.Sink, w Workload, cfg pim.Config, opts Opts, u unit) {
 	kind := pim.KindGWrite
 	switch cfg.GlobalBufs {
 	case 2:
@@ -267,7 +380,7 @@ func emitGWrite(ct *pim.ChannelTrace, w Workload, cfg pim.Config, opts Opts, u u
 	}
 	if segments == 1 {
 		bursts := u.nVecs * ceilDiv(u.kLen*2, cfg.BurstBytes)
-		ct.Commands = append(ct.Commands, pim.Command{Kind: kind, Bursts: bursts})
+		sink.Emit(pim.Command{Kind: kind, Bursts: bursts})
 		return
 	}
 	// Without strided GWRITE each contiguous segment needs its own
@@ -280,32 +393,46 @@ func emitGWrite(ct *pim.ChannelTrace, w Workload, cfg pim.Config, opts Opts, u u
 			l = remaining
 		}
 		bursts := u.nVecs * ceilDiv(l*2, cfg.BurstBytes)
-		ct.Commands = append(ct.Commands, pim.Command{Kind: kind, Bursts: bursts})
+		sink.Emit(pim.Command{Kind: kind, Bursts: bursts})
 		remaining -= l
 	}
 }
 
-// TimeWorkload generates the trace for the workload and simulates it,
-// returning the PIM timing statistics. This is the back-end's layer-time
-// primitive used by the execution-mode search. A grouped workload
-// (Groups > 1) simulates one group's GEMM and scales the result: the
-// groups are identical traces executed back to back.
+// simPool recycles streaming simulators across probes: the mode search
+// times thousands of workloads back to back, and the per-channel scratch
+// a StreamSim holds is identical between them.
+var simPool = sync.Pool{New: func() any { return &pim.StreamSim{} }}
+
+// TimeWorkload times the workload on the PIM configuration by streaming
+// its command sequence straight through the timing engine — generation
+// fused with simulation, no trace materialized. This is the back-end's
+// layer-time primitive used by the execution-mode search; it returns
+// exactly the Stats that Generate + Simulate would, at O(channels)
+// allocation instead of O(commands). A grouped workload (Groups > 1)
+// simulates one group's GEMM and scales the result: the groups are
+// identical traces executed back to back.
 func TimeWorkload(w Workload, cfg pim.Config, opts Opts) (pim.Stats, error) {
 	groups := w.GroupCount()
 	w.Groups = 0
-	tr, err := Generate(w, cfg, opts)
+	sim := simPool.Get().(*pim.StreamSim)
+	defer simPool.Put(sim)
+	if err := sim.Reset(cfg); err != nil {
+		return pim.Stats{}, err
+	}
+	if err := Stream(w, cfg, opts, sim); err != nil {
+		return pim.Stats{}, err
+	}
+	st, err := sim.Finish()
 	if err != nil {
 		return pim.Stats{}, err
 	}
-	st, err := pim.Simulate(cfg, tr)
-	if err != nil {
-		return pim.Stats{}, err
-	}
+	c := st.Counts
+	commands := c.GWrites + c.GActs + c.Comps + c.ReadRes
 	st = st.Scale(int64(groups))
 	if obs.Enabled(slog.LevelDebug) {
 		obs.L().Debug("codegen: simulated PIM workload",
 			"m", w.M, "k", w.K, "n", w.N, "segments", w.Segments, "groups", groups,
-			"channels", len(tr.Channels), "commands", tr.TotalCommands(),
+			"channels", len(st.PerChannel), "commands", commands,
 			"cycles", st.Cycles, "busy", st.BusyFraction)
 	}
 	return st, nil
@@ -314,9 +441,10 @@ func TimeWorkload(w Workload, cfg pim.Config, opts Opts) (pim.Stats, error) {
 // WorkloadEvents generates and simulates ONE group's trace of the
 // workload, returning the single-group stats plus the per-command
 // activity windows (PIM-clock cycles). Tracing layers use it to draw
-// per-channel command activity; grouped workloads (GroupCount > 1) repeat
-// the returned window back to back, which callers annotate rather than
-// materialize.
+// per-channel command activity; it materializes the trace (the event list
+// is O(commands) anyway), so it is reserved for explicitly traced runs.
+// Grouped workloads (GroupCount > 1) repeat the returned window back to
+// back, which callers annotate rather than materialize.
 func WorkloadEvents(w Workload, cfg pim.Config, opts Opts) (pim.Stats, []pim.CommandEvent, error) {
 	w.Groups = 0
 	tr, err := Generate(w, cfg, opts)

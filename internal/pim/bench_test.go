@@ -1,0 +1,53 @@
+package pim_test
+
+import (
+	"testing"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/pim"
+)
+
+// benchTrace materializes a conv-like layer's command trace (the Fig 10
+// MobileNetV2 projection shape) once, outside the timed loop.
+func benchTrace(b *testing.B) (pim.Config, *pim.Trace) {
+	b.Helper()
+	cfg := pim.DefaultConfig()
+	w := codegen.Workload{M: 196, K: 576, N: 160, Segments: 3}
+	tr, err := codegen.Generate(w, cfg, codegen.DefaultOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg, tr
+}
+
+// BenchmarkSimulate measures the batch simulator over a materialized
+// trace — the O(channels) Stats allocation is all that should remain.
+func BenchmarkSimulate(b *testing.B) {
+	cfg, tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pim.Simulate(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChannelSimFeed measures the per-command stepper cost on one
+// channel's stream: the simulator's innermost hot loop.
+func BenchmarkChannelSimFeed(b *testing.B) {
+	cfg, tr := benchTrace(b)
+	cmds := tr.Channels[0].Commands
+	var cs pim.ChannelSim
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Reset(cfg, 0)
+		for _, cmd := range cmds {
+			if _, _, err := cs.Feed(cmd); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = cs.Drain()
+	}
+}

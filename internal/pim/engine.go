@@ -62,23 +62,13 @@ type CommandEvent struct {
 	Start, End int64
 }
 
-// channelState tracks one channel's in-order command queue timing.
-type channelState struct {
-	t            int64 // next command issue cycle
-	busInFreeAt  int64 // inbound data path (GWRITE bursts from GPU channels)
-	busOutFreeAt int64 // outbound data path (READRES bursts to GPU channels)
-	rowReadyAt   int64 // row activation completion
-	rowOpenAt    int64 // when the current row was opened (tRAS)
-	rowOpen      bool
-	bufReadyAt   int64 // global buffer data availability
-	lastCompAt   int64 // start of the most recent COMP (prefetch window)
-	compFreeAt   int64 // MAC pipeline drain
-	compBusy     int64 // cycles the MAC pipeline was streaming
-}
-
-// Simulate executes the trace against the configuration and returns timing
-// statistics. Channels are independent; within a channel, commands issue
-// in order with the following semantics (paper §2.1, §4.1):
+// ChannelSim is the incremental timing stepper for one PIM channel: feed
+// it the channel's command stream in order and read the drain time, busy
+// cycles, and command counts at the end. It is the allocation-free core
+// that both Simulate (materialized traces) and StreamSim (streaming
+// command generation) are built on. The zero value is unusable; call
+// Reset first. Within a channel, commands issue in order with the
+// following semantics (paper §2.1, §4.1):
 //
 //   - GWRITE occupies the channel data path for Bursts×tBL cycles and makes
 //     the global buffer ready when the transfer completes. Without GWRITE
@@ -91,6 +81,154 @@ type channelState struct {
 //   - COMP waits for the row, the buffer, and the MAC pipeline, then
 //     streams Cols column I/Os at one per tCCDL.
 //   - READRES drains the result latches after the pipeline: tCL + bursts.
+type ChannelSim struct {
+	cfg     Config
+	channel int
+
+	t            int64 // next command issue cycle
+	busInFreeAt  int64 // inbound data path (GWRITE bursts from GPU channels)
+	busOutFreeAt int64 // outbound data path (READRES bursts to GPU channels)
+	rowReadyAt   int64 // row activation completion
+	rowOpenAt    int64 // when the current row was opened (tRAS)
+	rowOpen      bool
+	bufReadyAt   int64 // global buffer data availability
+	lastCompAt   int64 // start of the most recent COMP (prefetch window)
+	compFreeAt   int64 // MAC pipeline drain
+	compBusy     int64 // cycles the MAC pipeline was streaming
+
+	counts Counts
+}
+
+// Reset rebinds the stepper to a channel id and configuration and clears
+// all timing state and counts. The configuration is NOT validated here —
+// validate once per simulation, not once per channel.
+func (c *ChannelSim) Reset(cfg Config, channel int) {
+	*c = ChannelSim{cfg: cfg, channel: channel}
+}
+
+// Feed advances the channel by one command and returns the command's
+// activity window (issue cycle to completion cycle). Command counts are
+// accumulated in-stream, so no second pass over the trace is needed.
+func (c *ChannelSim) Feed(cmd Command) (evStart, evEnd int64, err error) {
+	tm := &c.cfg.Timing
+	// A single switch on the kind covers every GWRITE variant explicitly:
+	// this is the simulator's hottest dispatch, and the chained
+	// Kind.IsGWrite() comparisons it replaces showed up in CPU profiles.
+	switch cmd.Kind {
+	case KindGWrite, KindGWrite2, KindGWrite4, KindGWriteStrided:
+		if cmd.Bursts < 0 {
+			return 0, 0, fmt.Errorf("pim: negative bursts on channel %d", c.channel)
+		}
+		var start int64
+		if c.cfg.GWriteLatencyHiding {
+			// Asynchronous issue (§4.1): the controller queues the
+			// transfer with one-deep prefetch — it streams in from
+			// GPU channels once computation on the previous buffer
+			// set has begun, overlapping transfer with COMP/G_ACT.
+			start = num.Max64(c.busInFreeAt, c.lastCompAt)
+		} else {
+			start = num.Max64(c.t, num.Max64(c.busInFreeAt, c.busOutFreeAt))
+		}
+		if c.cfg.GlobalBufs == 1 {
+			// A single buffer cannot be refilled while COMPs are
+			// still consuming it; multiple buffers double-buffer.
+			start = num.Max64(start, c.compFreeAt)
+		}
+		done := start + int64(cmd.Bursts)*int64(tm.TBL)
+		c.busInFreeAt = done
+		c.bufReadyAt = done
+		if c.cfg.GWriteLatencyHiding {
+			// The queue moves on so the following G_ACT overlaps
+			// the in-flight transfer.
+			c.t = num.Max64(c.t, start) + 1
+		} else {
+			c.t = done
+		}
+		c.counts.GWrites++
+		c.counts.GWBursts += int64(cmd.Bursts)
+		return start, done, nil
+	case KindGAct:
+		// Banks cannot activate a new row while the MAC pipeline
+		// streams column I/Os from the open one — unless bank
+		// ping-pong is enabled, in which case the activation lands
+		// in the other bank group and overlaps the COMP stream.
+		start := num.Max64(c.t, c.compFreeAt)
+		if c.cfg.BankPingPong {
+			start = c.t
+		}
+		if cmd.NewRow && c.rowOpen {
+			// Precharge the open row first, honoring tRAS.
+			pre := num.Max64(start, c.rowOpenAt+int64(tm.TRAS))
+			c.rowReadyAt = pre + int64(tm.TRP) + int64(tm.TRCD)
+			start = pre
+		} else {
+			c.rowReadyAt = start + int64(tm.TRCD)
+		}
+		c.rowOpenAt = c.rowReadyAt
+		c.rowOpen = true
+		c.t = start + 1
+		c.counts.GActs++
+		if cmd.NewRow {
+			c.counts.NewRows++
+		}
+		return start, c.rowReadyAt, nil
+	case KindComp:
+		if cmd.Cols <= 0 {
+			return 0, 0, fmt.Errorf("pim: COMP with %d cols on channel %d", cmd.Cols, c.channel)
+		}
+		start := num.Max64(num.Max64(c.t, c.rowReadyAt), num.Max64(c.bufReadyAt, c.compFreeAt))
+		dur := int64(cmd.Cols) * int64(tm.TCCDL)
+		c.lastCompAt = start
+		c.compFreeAt = start + dur
+		c.compBusy += dur
+		// Issue is pipelined: the queue advances so a following
+		// GWRITE can stream the next buffer during the COMPs.
+		c.t = start + 1
+		c.counts.Comps++
+		c.counts.ColIOs += int64(cmd.Cols)
+		return start, c.compFreeAt, nil
+	case KindReadRes:
+		// Result latches must be stable: drain after the pipeline,
+		// and block the queue (no latch double-buffering). Results
+		// leave on the outbound path toward GPU channels.
+		start := num.Max64(num.Max64(c.t, c.compFreeAt), c.busOutFreeAt)
+		done := start + int64(tm.TCL) + int64(cmd.Bursts)*int64(tm.TBL)
+		c.busOutFreeAt = done
+		c.t = done
+		c.counts.ReadRes++
+		c.counts.RRBursts += int64(cmd.Bursts)
+		return start, done, nil
+	default:
+		return 0, 0, fmt.Errorf("pim: unknown command kind %d", cmd.Kind)
+	}
+}
+
+// Drain returns the channel's drain time: the cycle when the command
+// queue, both data paths, and the MAC pipeline have all gone idle,
+// stretched by the refresh duty cycle when refresh modeling is on.
+func (c *ChannelSim) Drain() int64 {
+	drain := num.Max64(num.Max64(c.t, num.Max64(c.busInFreeAt, c.busOutFreeAt)), c.compFreeAt)
+	if c.cfg.ModelRefresh && c.cfg.Timing.TREFI > 0 {
+		// All-bank refresh steals tRFC every tREFI: stretch the drain
+		// time by the refresh duty cycle (kernels are short relative
+		// to tREFI, so the amortized model matches interleaving).
+		duty := float64(c.cfg.Timing.TRFC) / float64(c.cfg.Timing.TREFI-c.cfg.Timing.TRFC)
+		drain += int64(float64(drain) * duty)
+	}
+	return drain
+}
+
+// Busy returns the cycles the MAC pipeline spent streaming column I/Os.
+func (c *ChannelSim) Busy() int64 { return c.compBusy }
+
+// Counts returns the command counts accumulated by Feed so far (MACs is
+// a cross-channel derived quantity and stays zero here, matching
+// CountOf).
+func (c *ChannelSim) Counts() Counts { return c.counts }
+
+// Simulate executes the trace against the configuration and returns timing
+// statistics. Channels are independent; see ChannelSim for the per-channel
+// command semantics.
 func Simulate(cfg Config, tr *Trace) (Stats, error) {
 	st, _, err := simulate(cfg, tr, false)
 	return st, err
@@ -113,7 +251,6 @@ func simulate(cfg Config, tr *Trace, record bool) (Stats, []CommandEvent, error)
 	if len(tr.Channels) > cfg.Channels {
 		return Stats{}, nil, fmt.Errorf("pim: trace uses %d channels, config has %d", len(tr.Channels), cfg.Channels)
 	}
-	tm := cfg.Timing
 	stats := Stats{
 		PerChannel:       make([]int64, len(tr.Channels)),
 		PerChannelBusy:   make([]int64, len(tr.Channels)),
@@ -124,108 +261,28 @@ func simulate(cfg Config, tr *Trace, record bool) (Stats, []CommandEvent, error)
 		events = make([]CommandEvent, 0, tr.TotalCommands())
 	}
 	var busySum float64
+	var cs ChannelSim
 	for i, ch := range tr.Channels {
-		var s channelState
+		cs.Reset(cfg, ch.Channel)
 		for _, cmd := range ch.Commands {
-			var evStart, evEnd int64
-			switch {
-			case cmd.Kind.IsGWrite():
-				if cmd.Bursts < 0 {
-					return Stats{}, nil, fmt.Errorf("pim: negative bursts on channel %d", ch.Channel)
-				}
-				var start int64
-				if cfg.GWriteLatencyHiding {
-					// Asynchronous issue (§4.1): the controller queues the
-					// transfer with one-deep prefetch — it streams in from
-					// GPU channels once computation on the previous buffer
-					// set has begun, overlapping transfer with COMP/G_ACT.
-					start = num.Max64(s.busInFreeAt, s.lastCompAt)
-				} else {
-					start = num.Max64(s.t, num.Max64(s.busInFreeAt, s.busOutFreeAt))
-				}
-				if cfg.GlobalBufs == 1 {
-					// A single buffer cannot be refilled while COMPs are
-					// still consuming it; multiple buffers double-buffer.
-					start = num.Max64(start, s.compFreeAt)
-				}
-				done := start + int64(cmd.Bursts)*int64(tm.TBL)
-				s.busInFreeAt = done
-				s.bufReadyAt = done
-				if cfg.GWriteLatencyHiding {
-					// The queue moves on so the following G_ACT overlaps
-					// the in-flight transfer.
-					s.t = num.Max64(s.t, start) + 1
-				} else {
-					s.t = done
-				}
-				evStart, evEnd = start, done
-			case cmd.Kind == KindGAct:
-				// Banks cannot activate a new row while the MAC pipeline
-				// streams column I/Os from the open one — unless bank
-				// ping-pong is enabled, in which case the activation lands
-				// in the other bank group and overlaps the COMP stream.
-				start := num.Max64(s.t, s.compFreeAt)
-				if cfg.BankPingPong {
-					start = s.t
-				}
-				if cmd.NewRow && s.rowOpen {
-					// Precharge the open row first, honoring tRAS.
-					pre := num.Max64(start, s.rowOpenAt+int64(tm.TRAS))
-					s.rowReadyAt = pre + int64(tm.TRP) + int64(tm.TRCD)
-					start = pre
-				} else {
-					s.rowReadyAt = start + int64(tm.TRCD)
-				}
-				s.rowOpenAt = s.rowReadyAt
-				s.rowOpen = true
-				s.t = start + 1
-				evStart, evEnd = start, s.rowReadyAt
-			case cmd.Kind == KindComp:
-				if cmd.Cols <= 0 {
-					return Stats{}, nil, fmt.Errorf("pim: COMP with %d cols on channel %d", cmd.Cols, ch.Channel)
-				}
-				start := num.Max64(num.Max64(s.t, s.rowReadyAt), num.Max64(s.bufReadyAt, s.compFreeAt))
-				dur := int64(cmd.Cols) * int64(tm.TCCDL)
-				s.lastCompAt = start
-				s.compFreeAt = start + dur
-				s.compBusy += dur
-				// Issue is pipelined: the queue advances so a following
-				// GWRITE can stream the next buffer during the COMPs.
-				s.t = start + 1
-				evStart, evEnd = start, s.compFreeAt
-			case cmd.Kind == KindReadRes:
-				// Result latches must be stable: drain after the pipeline,
-				// and block the queue (no latch double-buffering). Results
-				// leave on the outbound path toward GPU channels.
-				start := num.Max64(num.Max64(s.t, s.compFreeAt), s.busOutFreeAt)
-				done := start + int64(tm.TCL) + int64(cmd.Bursts)*int64(tm.TBL)
-				s.busOutFreeAt = done
-				s.t = done
-				evStart, evEnd = start, done
-			default:
-				return Stats{}, nil, fmt.Errorf("pim: unknown command kind %d", cmd.Kind)
+			evStart, evEnd, err := cs.Feed(cmd)
+			if err != nil {
+				return Stats{}, nil, err
 			}
 			if record {
 				events = append(events, CommandEvent{Channel: ch.Channel, Kind: cmd.Kind, Start: evStart, End: evEnd})
 			}
 		}
-		drain := num.Max64(num.Max64(s.t, num.Max64(s.busInFreeAt, s.busOutFreeAt)), s.compFreeAt)
-		if cfg.ModelRefresh && cfg.Timing.TREFI > 0 {
-			// All-bank refresh steals tRFC every tREFI: stretch the drain
-			// time by the refresh duty cycle (kernels are short relative
-			// to tREFI, so the amortized model matches interleaving).
-			duty := float64(cfg.Timing.TRFC) / float64(cfg.Timing.TREFI-cfg.Timing.TRFC)
-			drain += int64(float64(drain) * duty)
-		}
+		drain := cs.Drain()
 		stats.PerChannel[i] = drain
-		stats.PerChannelBusy[i] = s.compBusy
+		stats.PerChannelBusy[i] = cs.Busy()
 		if drain > stats.Cycles {
 			stats.Cycles = drain
 		}
 		if drain > 0 {
-			busySum += float64(s.compBusy) / float64(drain)
+			busySum += float64(cs.Busy()) / float64(drain)
 		}
-		stats.PerChannelCounts[i] = CountOf(ch)
+		stats.PerChannelCounts[i] = cs.Counts()
 		stats.Counts.Add(stats.PerChannelCounts[i])
 	}
 	stats.BusyFraction = busySum / float64(len(tr.Channels))

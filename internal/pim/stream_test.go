@@ -1,0 +1,220 @@
+package pim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomTrace builds a protocol-shaped multi-channel trace from fuzz
+// bytes: every channel gets GWRITE / G_ACT / COMP / READRES rounds with
+// varying bursts, cols, and row reuse.
+func randomTrace(seed []byte) *Trace {
+	at := func(i int) int {
+		if len(seed) == 0 {
+			return 1
+		}
+		return int(seed[i%len(seed)])
+	}
+	nCh := at(0)%4 + 1
+	tr := &Trace{}
+	for ch := 0; ch < nCh; ch++ {
+		ct := ChannelTrace{Channel: ch}
+		rounds := at(ch+1)%5 + 1
+		for r := 0; r < rounds; r++ {
+			base := ch*7 + r*3
+			ct.Commands = append(ct.Commands,
+				Command{Kind: Kind(at(base) % 4), Bursts: at(base+1)%32 + 1}, // some GWRITE variant
+				Command{Kind: KindGAct, NewRow: at(base+2)%2 == 0},
+				Command{Kind: KindComp, Cols: at(base+3)%32 + 1},
+				Command{Kind: KindReadRes, Bursts: at(base+4)%4 + 1},
+			)
+		}
+		tr.Channels = append(tr.Channels, ct)
+	}
+	return tr
+}
+
+// feedTrace drives a StreamSim with a materialized trace.
+func feedTrace(s *StreamSim, tr *Trace) {
+	for _, ct := range tr.Channels {
+		s.BeginChannel(ct.Channel)
+		for _, cmd := range ct.Commands {
+			s.Emit(cmd)
+		}
+	}
+}
+
+// Property: feeding any protocol-shaped trace through StreamSim yields
+// Stats identical to Simulate on the materialized trace, for every
+// configuration variant that changes stepper behavior.
+func TestPropertyStreamSimMatchesSimulate(t *testing.T) {
+	cfgs := []Config{DefaultConfig(), NewtonConfig()}
+	pp := DefaultConfig()
+	pp.BankPingPong = true
+	refresh := DefaultConfig()
+	refresh.ModelRefresh = true
+	cfgs = append(cfgs, pp, refresh)
+
+	f := func(seed []byte) bool {
+		tr := randomTrace(seed)
+		for _, cfg := range cfgs {
+			want, err := Simulate(cfg, tr)
+			if err != nil {
+				return false
+			}
+			sim, err := NewStreamSim(cfg)
+			if err != nil {
+				return false
+			}
+			feedTrace(sim, tr)
+			got, err := sim.Finish()
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("diverged:\n got %+v\nwant %+v", got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reset must clear latched errors and channel state so a pooled StreamSim
+// is indistinguishable from a fresh one.
+func TestStreamSimResetReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	sim, err := NewStreamSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison: emit without a channel, latching an error.
+	sim.Emit(Command{Kind: KindComp, Cols: 1})
+	if _, err := sim.Finish(); err == nil {
+		t.Fatal("Emit before BeginChannel accepted")
+	}
+	tr := randomTrace([]byte{9, 4, 7, 1, 8})
+	want, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sim.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		feedTrace(sim, tr)
+		got, err := sim.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("reuse %d diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestStreamSimErrors(t *testing.T) {
+	bad := DefaultConfig()
+	bad.GlobalBufs = 3
+	if _, err := NewStreamSim(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+	sim, err := NewStreamSim(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Finish(); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// A command the stepper rejects latches its error until Finish.
+	if err := sim.Reset(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	sim.BeginChannel(0)
+	sim.Emit(Command{Kind: KindComp, Cols: 0})
+	sim.Emit(Command{Kind: KindComp, Cols: 5}) // ignored after the latch
+	if _, err := sim.Finish(); err == nil {
+		t.Error("invalid COMP accepted")
+	}
+	// More channel streams than the config has channels.
+	cfg := DefaultConfig()
+	cfg.Channels = 1
+	if err := sim.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sim.BeginChannel(0)
+	sim.Emit(Command{Kind: KindComp, Cols: 1})
+	sim.BeginChannel(1)
+	if _, err := sim.Finish(); err == nil {
+		t.Error("channel overflow accepted")
+	}
+}
+
+func TestTraceSinkMaterializes(t *testing.T) {
+	var ts TraceSink
+	ts.BeginChannel(3)
+	ts.Emit(Command{Kind: KindGWrite, Bursts: 2})
+	ts.BeginChannel(5)
+	ts.Emit(Command{Kind: KindGAct, NewRow: true})
+	ts.Emit(Command{Kind: KindComp, Cols: 4})
+	want := Trace{Channels: []ChannelTrace{
+		{Channel: 3, Commands: []Command{{Kind: KindGWrite, Bursts: 2}}},
+		{Channel: 5, Commands: []Command{
+			{Kind: KindGAct, NewRow: true},
+			{Kind: KindComp, Cols: 4},
+		}},
+	}}
+	if !reflect.DeepEqual(ts.Trace, want) {
+		t.Fatalf("trace %+v, want %+v", ts.Trace, want)
+	}
+}
+
+// The stepper's Feed must agree with the batch simulator's event windows
+// command for command.
+func TestChannelSimFeedWindowsMatchEvents(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := randomTrace([]byte{3, 1, 4, 1, 5, 9, 2, 6})
+	_, events, err := SimulateEvents(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	var cs ChannelSim
+	for _, ct := range tr.Channels {
+		cs.Reset(cfg, ct.Channel)
+		for _, cmd := range ct.Commands {
+			start, end, err := cs.Feed(cmd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ev := events[i]
+			if ev.Start != start || ev.End != end || ev.Channel != ct.Channel || ev.Kind != cmd.Kind {
+				t.Fatalf("event %d: Feed window [%d,%d] vs SimulateEvents %+v", i, start, end, ev)
+			}
+			i++
+		}
+	}
+	if i != len(events) {
+		t.Fatalf("walked %d commands, %d events", i, len(events))
+	}
+}
+
+func TestChannelSimFeedErrors(t *testing.T) {
+	var cs ChannelSim
+	cs.Reset(DefaultConfig(), 7)
+	if _, _, err := cs.Feed(Command{Kind: KindGWrite, Bursts: -1}); err == nil {
+		t.Error("negative bursts accepted")
+	}
+	cs.Reset(DefaultConfig(), 7)
+	if _, _, err := cs.Feed(Command{Kind: KindComp, Cols: 0}); err == nil {
+		t.Error("zero-col COMP accepted")
+	}
+	cs.Reset(DefaultConfig(), 7)
+	if _, _, err := cs.Feed(Command{Kind: Kind(200)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
