@@ -39,11 +39,11 @@ fuzz:
 # benchmarks. Results are merged into $(BENCH_JSON) under $(BENCH_LABEL)
 # (machine-readable ns/op, B/op, allocs/op) by cmd/pimflow-bench; the
 # raw go test output still streams through to the terminal.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 BENCH_LABEL ?= after
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . ./internal/pim ./internal/codegen | \
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . ./internal/pim ./internal/codegen ./internal/serve | \
 		$(GO) run ./cmd/pimflow-bench -label $(BENCH_LABEL) -out $(BENCH_JSON)
 
 # Regenerate the paper-evaluation report (must stay byte-identical to the

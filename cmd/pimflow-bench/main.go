@@ -4,10 +4,10 @@
 // results into a JSON file keyed by label (e.g. "before" / "after") so
 // successive runs build up a comparable record:
 //
-//	go test -run '^$' -bench . -benchmem ./... | pimflow-bench -label after -out BENCH_PR4.json
+//	go test -run '^$' -bench . -benchmem ./... | pimflow-bench -label after -out BENCH_PR5.json
 //
 // Each entry maps the benchmark name (CPU-count suffix stripped) to
-// ns/op, B/op, and allocs/op.
+// ns/op, B/op, allocs/op, and any custom b.ReportMetric units.
 package main
 
 import (
@@ -21,11 +21,14 @@ import (
 	"strings"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement. Custom metrics reported with
+// b.ReportMetric (e.g. the serve throughput benchmark's req/s and
+// p50_simcycles) land in Extra keyed by their unit.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -55,6 +58,12 @@ func parseLine(line string) (string, Result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[fields[i+1]] = v
+			seen = true
 		}
 	}
 	return name, r, seen
@@ -106,7 +115,7 @@ func run(label, out string) error {
 
 func main() {
 	label := flag.String("label", "after", "section of the JSON file to record results under")
-	out := flag.String("out", "BENCH_PR4.json", "JSON snapshot file to merge results into")
+	out := flag.String("out", "BENCH_PR5.json", "JSON snapshot file to merge results into")
 	flag.Parse()
 	if err := run(*label, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "pimflow-bench:", err)

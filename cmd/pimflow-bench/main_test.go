@@ -20,6 +20,15 @@ func TestParseLine(t *testing.T) {
 		t.Errorf("parsed %q %+v ok=%v", name, r, ok)
 	}
 
+	// Custom b.ReportMetric units land in Extra.
+	name, r, ok = parseLine("BenchmarkServeThroughput-8\t5\t210545574 ns/op\t123.4 req/s\t1798466 p50_simcycles\t2515295 p99_simcycles")
+	if !ok || name != "BenchmarkServeThroughput" {
+		t.Fatalf("serve line parsed %q ok=%v", name, ok)
+	}
+	if r.Extra["req/s"] != 123.4 || r.Extra["p50_simcycles"] != 1798466 || r.Extra["p99_simcycles"] != 2515295 {
+		t.Errorf("extra metrics %+v", r.Extra)
+	}
+
 	for _, line := range []string{
 		"goos: linux",
 		"pkg: pimflow/internal/pim",

@@ -1,0 +1,168 @@
+// Command pimflow-serve runs the concurrent inference service over the
+// simulated GPU+PIM machine as an HTTP JSON API:
+//
+//	pimflow-serve -addr :8080 -load mobilenet-v2,resnet-50 -policy PIMFlow
+//
+//	GET    /healthz                  liveness + drain state
+//	GET    /metrics                  Prometheus-style text dump
+//	GET    /v1/models                list loaded models
+//	POST   /v1/models/{name}         load a model (JSON ModelSpec body)
+//	DELETE /v1/models/{name}         unload a model
+//	POST   /v1/models/{name}/infer   run one inference
+//
+// Each -load entry is name=model, or just a model-zoo name; -policy,
+// -channels, and -pim-channels apply to every preload (per-model overrides
+// go through the HTTP load API). Inference latency is accounted in
+// simulated cycles on one shared virtual timeline: requests whose models
+// were compiled onto disjoint channel slices overlap, contending requests
+// queue, same-model requests coalesce into batches up to -max-batch.
+//
+// SIGINT/SIGTERM drains gracefully: queued requests finish, new ones get
+// 503, and the profile cache (when -profile-cache is set) is saved.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pimflow/internal/obs"
+	"pimflow/internal/profcache"
+	"pimflow/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		load       = flag.String("load", "", "comma-separated models to preload (name=model or model)")
+		policy     = flag.String("policy", "PIMFlow", "offloading policy for preloaded models")
+		channels   = flag.Int("channels", 0, "total memory channels each preload compiles against (0: policy default)")
+		pimCh      = flag.Int("pim_channels", 0, "PIM-enabled channels of each preload's slice (0: policy default)")
+		machineGPU = flag.Int("machine_gpu", 16, "GPU channel groups of the served machine")
+		machinePIM = flag.Int("machine_pim", 16, "PIM channel groups of the served machine")
+		queueDepth = flag.Int("queue", 64, "admission queue depth")
+		admission  = flag.String("admission", "reject", "backpressure policy when the queue is full: reject | block | shed-oldest")
+		workers    = flag.Int("workers", 4, "request-processing goroutines")
+		maxBatch   = flag.Int("max_batch", 1, "largest same-model coalesced batch (1: no batching)")
+		batchWin   = flag.Duration("batch_window", 0, "extra wall-clock wait for same-model requests to coalesce")
+		profFile   = flag.String("profile-cache", "", "JSON profile-cache file: loaded at startup, saved at shutdown")
+		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-drain budget at shutdown")
+		verbose    = flag.Bool("v", false, "info-level structured logs on stderr")
+		vverbose   = flag.Bool("vv", false, "debug-level structured logs on stderr")
+	)
+	flag.Parse()
+	switch {
+	case *vverbose:
+		obs.SetVerbosity(2)
+	case *verbose:
+		obs.SetVerbosity(1)
+	}
+	if err := run(*addr, *load, *policy, *channels, *pimCh, *machineGPU, *machinePIM,
+		*queueDepth, *admission, *workers, *maxBatch, *batchWin, *profFile, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "pimflow-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
+	queueDepth int, admission string, workers, maxBatch int,
+	batchWin time.Duration, profFile string, drainWait time.Duration) error {
+	adm, err := serve.ParseAdmissionPolicy(admission)
+	if err != nil {
+		return err
+	}
+	profiles := profcache.New()
+	if profFile != "" {
+		n, err := profiles.Load(profFile)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Printf("profile cache: loaded %d entries from %s\n", n, profFile)
+		}
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Machine:     serve.Machine{GPUChannels: machineGPU, PIMChannels: machinePIM},
+		QueueDepth:  queueDepth,
+		Admission:   adm,
+		Workers:     workers,
+		MaxBatch:    maxBatch,
+		BatchWindow: batchWin,
+		Profiles:    profiles,
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, spec := range parseLoads(load, policy, channels, pimCh) {
+		lm, err := srv.Registry().Load(spec)
+		if err != nil {
+			return fmt.Errorf("preload %q: %w", spec.Name, err)
+		}
+		fmt.Printf("loaded %s (model %s, policy %s): solo %d cycles, %d GPU + %d PIM channels, compile %.2fs\n",
+			lm.Spec.Name, lm.Spec.Model, lm.Policy, lm.Solo.DurationCycles(),
+			lm.Demand.GPU, lm.Demand.PIM, lm.CompileSeconds)
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving on %s (machine: %d GPU + %d PIM channel groups, queue %d/%s, %d workers)\n",
+			addr, machineGPU, machinePIM, queueDepth, adm, workers)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("received %s, draining (budget %s)\n", s, drainWait)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if profFile != "" {
+		if err := profiles.Save(profFile); err != nil {
+			return err
+		}
+		fmt.Printf("profile cache: %s; saved to %s\n", profiles.Stats(), profFile)
+	}
+	fmt.Println("drained cleanly")
+	return nil
+}
+
+// parseLoads expands the -load list into model specs. Each entry is
+// "name=model" or a bare zoo model name serving under its own name.
+func parseLoads(load, policy string, channels, pimCh int) []serve.ModelSpec {
+	var specs []serve.ModelSpec
+	for _, entry := range strings.Split(load, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, model := entry, entry
+		if eq := strings.IndexByte(entry, '='); eq >= 0 {
+			name, model = entry[:eq], entry[eq+1:]
+		}
+		specs = append(specs, serve.ModelSpec{
+			Name: name, Model: model, Policy: policy,
+			TotalChannels: channels, PIMChannels: pimCh,
+		})
+	}
+	return specs
+}

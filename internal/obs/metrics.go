@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -168,6 +169,79 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Histograms[k] = hs
 	}
 	return s
+}
+
+// WriteText dumps the registry in a Prometheus-style text exposition:
+// one `# TYPE` comment plus one `pimflow_<name> <value>` line per counter
+// and gauge, and count/sum/min/max/mean plus `_bucket{le="..."}` lines
+// per histogram. Metric names are sanitized to the usual [a-zA-Z0-9_:]
+// charset (dots and brackets become underscores). Lines are emitted in
+// sorted name order so identical registries produce identical documents.
+// The serving layer's /metrics endpoint is backed by this dump.
+func (m *Metrics) WriteText(w io.Writer) error {
+	if m == nil {
+		return fmt.Errorf("obs: nil metrics")
+	}
+	s := m.Snapshot()
+	var b []byte
+	emit := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		name := metricName(k)
+		emit("# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		name := metricName(k)
+		emit("# TYPE %s gauge\n%s %v\n", name, name, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		name := metricName(k)
+		emit("# TYPE %s summary\n", name)
+		emit("%s_count %d\n%s_sum %v\n%s_min %v\n%s_max %v\n%s_mean %v\n",
+			name, h.Count, name, h.Sum, name, h.Min, name, h.Max, name, h.Mean)
+		for _, le := range sortedKeys(h.Buckets) {
+			emit("%s_bucket{le=%q} %d\n", name, le, h.Buckets[le])
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// metricName maps a registry key onto the Prometheus name charset under a
+// pimflow_ prefix: runs of disallowed characters collapse to one
+// underscore (e.g. "pim.channel_busy_cycles[02]" ->
+// "pimflow_pim_channel_busy_cycles_02").
+func metricName(key string) string {
+	out := make([]byte, 0, len(key)+8)
+	out = append(out, "pimflow_"...)
+	pending := false
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			pending = len(out) > len("pimflow_")
+			continue
+		}
+		if pending {
+			out = append(out, '_')
+			pending = false
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // WriteJSON dumps the registry as indented JSON. Map keys are emitted in

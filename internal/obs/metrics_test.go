@@ -3,7 +3,9 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -119,5 +121,47 @@ func TestHistogramInfinityFreeOnEmpty(t *testing.T) {
 	h := m.Snapshot().Histograms["h"]
 	if math.IsInf(h.Min, 0) || math.IsInf(h.Max, 0) {
 		t.Errorf("min/max not finite after observation: %+v", h)
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Add("serve.requests", 3)
+	m.Set("serve.queue_depth", 2)
+	m.Observe("serve.latency_cycles", 10)
+	m.Observe("serve.latency_cycles", 1000)
+	m.Add("pim.channel_busy_cycles[02]", 7)
+
+	var b strings.Builder
+	if err := m.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pimflow_serve_requests counter\npimflow_serve_requests 3\n",
+		"# TYPE pimflow_serve_queue_depth gauge\npimflow_serve_queue_depth 2\n",
+		"pimflow_serve_latency_cycles_count 2\n",
+		"pimflow_serve_latency_cycles_sum 1010\n",
+		`pimflow_serve_latency_cycles_bucket{le="<=2^10"} 1`,
+		"pimflow_pim_channel_busy_cycles_02 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output for identical registries.
+	var b2 strings.Builder
+	if err := m.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("WriteText not deterministic")
+	}
+}
+
+func TestWriteTextNil(t *testing.T) {
+	var m *Metrics
+	if err := m.WriteText(io.Discard); err == nil {
+		t.Fatal("nil metrics should error")
 	}
 }

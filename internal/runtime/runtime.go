@@ -143,14 +143,23 @@ func (r NodeReport) Duration() int64 { return r.End - r.Start }
 
 // Report is the result of executing a graph.
 type Report struct {
+	// StartCycle is the virtual-clock offset the execution was scheduled
+	// at (0 for plain Execute). Node timestamps and TotalCycles are
+	// absolute on that shared timeline.
+	StartCycle  int64
 	TotalCycles int64
-	Seconds     float64
-	Nodes       []NodeReport
+	// Seconds is the execution's duration (not the absolute end time).
+	Seconds float64
+	Nodes   []NodeReport
 	// GPUBusy and PIMBusy are summed busy cycles per device.
 	GPUBusy, PIMBusy int64
 	// MoveCycles is total cross-device data-movement time.
 	MoveCycles int64
 }
+
+// DurationCycles returns the execution's busy span on the virtual
+// timeline: end minus the scheduled start.
+func (r *Report) DurationCycles() int64 { return r.TotalCycles - r.StartCycle }
 
 // NodeByName returns the report entry for a node, or nil.
 func (r *Report) NodeByName(name string) *NodeReport {
@@ -185,18 +194,41 @@ func fusableActivation(op graph.OpType) bool {
 
 // Execute schedules the graph and returns the timing report.
 func Execute(g *graph.Graph, cfg Config) (*Report, error) {
+	return ExecuteAt(g, cfg, 0)
+}
+
+// ExecuteAt is the reentrant execution entry point: it schedules an
+// already-compiled graph starting at the given virtual-clock cycle, so a
+// serving layer can multiplex many executions onto one shared simulated
+// timeline (node timestamps, trace spans, and Report.TotalCycles are all
+// offset by startCycle; Report.Seconds stays the execution's duration).
+//
+// ExecuteAt never mutates the graph: concurrent calls over one shared
+// *graph.Graph are safe. A graph whose shapes were not inferred yet is
+// cloned before the one-time inference rather than annotated in place.
+func ExecuteAt(g *graph.Graph, cfg Config, startCycle int64) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if startCycle < 0 {
+		return nil, fmt.Errorf("runtime: negative start cycle %d", startCycle)
 	}
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, err
 	}
-	// Ensure shapes are available.
+	// Ensure shapes are available. Inference annotates tensor records, so
+	// it runs on a private clone: callers (the serving layer in
+	// particular) may execute the same graph from many goroutines, and a
+	// shared graph must stay read-only here.
 	for _, n := range order {
 		ti := g.Tensors[n.Outputs[0]]
 		if ti == nil || !ti.Shape.Valid() {
+			g = g.Clone()
 			if err := g.InferShapes(); err != nil {
+				return nil, err
+			}
+			if order, err = g.TopoSort(); err != nil {
 				return nil, err
 			}
 			break
@@ -211,8 +243,8 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 	}
 	finish := map[*graph.Node]int64{}
 	deviceOf := map[*graph.Node]graph.Device{}
-	var gpuFree, pimFree int64
-	rep := &Report{}
+	gpuFree, pimFree := startCycle, startCycle
+	rep := &Report{StartCycle: startCycle, TotalCycles: startCycle}
 	if cfg.Trace.Enabled() {
 		cfg.Trace.SetProcessName(obs.PIDTimeline, "simulated timeline (1 cycle = 1 ns)")
 		cfg.Trace.SetThreadName(obs.PIDTimeline, obs.TIDGPU, "GPU stream")
@@ -225,7 +257,7 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("runtime: node %q (%s) annotated for PIM but not offloadable", n.Name, n.Op)
 		}
 		// Ready time: producers plus cross-device movement.
-		var ready, moveCycles int64
+		ready, moveCycles := startCycle, int64(0)
 		for _, in := range n.Inputs {
 			p, ok := producerOf[in]
 			if !ok {
@@ -346,7 +378,7 @@ func Execute(g *graph.Graph, cfg Config) (*Report, error) {
 	}
 	// The timeline is in GPU-clock cycles throughout (PIM durations were
 	// scaled by PIMCycleScale), so the GPU clock alone converts to time.
-	rep.Seconds = float64(rep.TotalCycles) / (cfg.GPU.ClockGHz * 1e9)
+	rep.Seconds = float64(rep.DurationCycles()) / (cfg.GPU.ClockGHz * 1e9)
 	if cfg.Metrics != nil {
 		recordReportMetrics(cfg.Metrics, rep)
 	}
@@ -394,9 +426,9 @@ func recordReportMetrics(m *obs.Metrics, rep *Report) {
 	m.Set("runtime.gpu_busy_cycles", float64(rep.GPUBusy))
 	m.Set("runtime.pim_busy_cycles", float64(rep.PIMBusy))
 	m.Set("runtime.move_cycles", float64(rep.MoveCycles))
-	if rep.TotalCycles > 0 {
-		m.Set("runtime.gpu_busy_fraction", float64(rep.GPUBusy)/float64(rep.TotalCycles))
-		m.Set("runtime.pim_busy_fraction", float64(rep.PIMBusy)/float64(rep.TotalCycles))
+	if d := rep.DurationCycles(); d > 0 {
+		m.Set("runtime.gpu_busy_fraction", float64(rep.GPUBusy)/float64(d))
+		m.Set("runtime.pim_busy_fraction", float64(rep.PIMBusy)/float64(d))
 	}
 }
 

@@ -351,3 +351,71 @@ func TestExecuteFullModel(t *testing.T) {
 		t.Fatalf("makespan %d != max end %d", rep.TotalCycles, maxEnd)
 	}
 }
+
+// ExecuteAt must produce the same schedule as Execute, rigidly shifted by
+// the virtual-clock offset, with Seconds staying the duration.
+func TestExecuteAtOffsetsTimeline(t *testing.T) {
+	g := pointwiseGraph(t)
+	if err := transform.SplitMDDP(g, g.Nodes[0].Name, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	base, err := Execute(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const off = int64(123456)
+	shifted, err := ExecuteAt(g, cfg, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.StartCycle != off {
+		t.Fatalf("StartCycle = %d, want %d", shifted.StartCycle, off)
+	}
+	if shifted.DurationCycles() != base.DurationCycles() {
+		t.Fatalf("duration %d != base %d", shifted.DurationCycles(), base.DurationCycles())
+	}
+	if shifted.Seconds != base.Seconds {
+		t.Fatalf("Seconds %v != base %v", shifted.Seconds, base.Seconds)
+	}
+	if shifted.TotalCycles != base.TotalCycles+off {
+		t.Fatalf("TotalCycles %d, want %d", shifted.TotalCycles, base.TotalCycles+off)
+	}
+	if len(shifted.Nodes) != len(base.Nodes) {
+		t.Fatalf("node count %d != %d", len(shifted.Nodes), len(base.Nodes))
+	}
+	for i := range base.Nodes {
+		b, s := base.Nodes[i], shifted.Nodes[i]
+		if s.Start != b.Start+off || s.End != b.End+off {
+			t.Fatalf("node %s window [%d,%d], want [%d,%d]", s.Name, s.Start, s.End, b.Start+off, b.End+off)
+		}
+	}
+}
+
+// ExecuteAt must not mutate a shared graph even when shapes are missing:
+// the one-time inference runs on a private clone.
+func TestExecuteAtDoesNotMutateSharedGraph(t *testing.T) {
+	g := pointwiseGraph(t)
+	// Drop inferred shapes on non-input, non-weight tensors.
+	for name, ti := range g.Tensors {
+		if ti.Init != nil || ti.Param {
+			continue
+		}
+		isInput := false
+		for _, in := range g.Inputs {
+			if in == name {
+				isInput = true
+			}
+		}
+		if !isInput {
+			ti.Shape = nil
+		}
+	}
+	if _, err := Execute(g, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := g.Tensors[g.Nodes[0].Outputs[0]]
+	if out.Shape.Valid() {
+		t.Fatal("Execute wrote inferred shapes back into the caller's graph")
+	}
+}

@@ -131,6 +131,16 @@ func DefaultOptions(p Policy) Options {
 	}
 }
 
+// WithResources returns a copy of the options compiled against a smaller
+// (or larger) slice of the machine: total memory channels and the
+// PIM-enabled subset. The serving layer uses this to compile models whose
+// channel-group leases leave room for other models to run concurrently.
+func (o Options) WithResources(totalChannels, pimChannels int) Options {
+	o.TotalChannels = totalChannels
+	o.PIMChannels = pimChannels
+	return o
+}
+
 // GPUChannels returns the channels visible to the GPU under this policy.
 func (o Options) GPUChannels() int {
 	if o.Policy == PolicyBaseline {

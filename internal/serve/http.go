@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+)
+
+// inferBody is the JSON body of POST /v1/models/{name}/infer. An empty
+// body is a plain inference with no deadlines.
+type inferBody struct {
+	// DeadlineCycles is the virtual-time deadline (see
+	// InferRequest.DeadlineCycles).
+	DeadlineCycles int64 `json:"deadlineCycles,omitempty"`
+	// TimeoutMillis bounds the request's wall-clock residence (queueing
+	// plus processing) via a context deadline.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error             string `json:"error"`
+	DeadlineViolation bool   `json:"deadlineViolation,omitempty"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET    /healthz                  liveness + drain state
+//	GET    /metrics                  Prometheus-style text dump
+//	GET    /v1/models                list loaded models
+//	POST   /v1/models/{name}         load a model (ModelSpec body)
+//	DELETE /v1/models/{name}         unload a model
+//	POST   /v1/models/{name}/infer   run one inference (inferBody body)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/models", s.handleList)
+	mux.HandleFunc("POST /v1/models/{name}", s.handleLoad)
+	mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnload)
+	mux.HandleFunc("POST /v1/models/{name}/infer", s.handleInfer)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// statusOf maps request-path errors onto HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotLoaded):
+		return http.StatusNotFound
+	case errors.Is(err, ErrAlreadyLoaded):
+		return http.StatusConflict
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadlineViolation),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorBody{
+		Error:             err.Error(),
+		DeadlineViolation: errors.Is(err, ErrDeadlineViolation),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":        status,
+		"models":        s.registry.Len(),
+		"queueDepth":    s.queue.depth(),
+		"leasesActive":  s.sched.InFlight(),
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.cfg.Metrics.WriteText(w)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.registry.List()})
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var spec ModelSpec
+	if err := decodeBody(r.Body, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	spec.Name = r.PathValue("name")
+	if spec.Model == "" {
+		spec.Model = spec.Name
+	}
+	lm, err := s.registry.Load(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":       lm.Spec.Name,
+		"model":      lm.Spec.Model,
+		"policy":     lm.Policy.String(),
+		"soloCycles": lm.Solo.DurationCycles(),
+		"demand":     lm.Demand,
+	})
+}
+
+func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	if err := s.registry.Unload(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"unloaded": r.PathValue("name")})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var body inferBody
+	if err := decodeBody(r.Body, &body); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if body.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(body.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	resp, err := s.Infer(ctx, InferRequest{
+		Model:          r.PathValue("name"),
+		DeadlineCycles: body.DeadlineCycles,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBody parses an optional JSON body: empty bodies decode to the
+// zero value, trailing garbage is an error.
+func decodeBody(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

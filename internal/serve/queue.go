@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"pimflow/internal/obs"
+)
+
+// AdmissionPolicy selects the backpressure behavior of a full admission
+// queue.
+type AdmissionPolicy int
+
+const (
+	// AdmitReject fails new arrivals immediately with ErrQueueFull (the
+	// HTTP layer maps it to 429).
+	AdmitReject AdmissionPolicy = iota
+	// AdmitBlock blocks the submitter until space frees or its context
+	// ends.
+	AdmitBlock
+	// AdmitShedOldest drops the oldest queued request (completing it with
+	// ErrShed) to make room for the new arrival.
+	AdmitShedOldest
+)
+
+func (p AdmissionPolicy) String() string {
+	switch p {
+	case AdmitBlock:
+		return "block"
+	case AdmitShedOldest:
+		return "shed-oldest"
+	default:
+		return "reject"
+	}
+}
+
+// ParseAdmissionPolicy resolves a policy name ("reject", "block",
+// "shed-oldest").
+func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) {
+	switch s {
+	case "reject":
+		return AdmitReject, nil
+	case "block":
+		return AdmitBlock, nil
+	case "shed-oldest", "shed":
+		return AdmitShedOldest, nil
+	}
+	return 0, fmt.Errorf("serve: unknown admission policy %q (reject, block, shed-oldest)", s)
+}
+
+// result is one finished request: a response or an error.
+type result struct {
+	resp *InferResponse
+	err  error
+}
+
+// item is one queued request plus its completion channel.
+type item struct {
+	req      InferRequest
+	ctx      context.Context
+	reply    chan result
+	enqueued time.Time
+}
+
+// finish completes the item. The reply channel has capacity one and is
+// written exactly once, so finish never blocks a worker even when the
+// submitter already gave up.
+func (it *item) finish(resp *InferResponse, err error) {
+	it.reply <- result{resp: resp, err: err}
+}
+
+// queue is the bounded admission queue: a FIFO of pending requests with a
+// configurable full-queue policy and graceful close (pending items stay
+// poppable after Close so workers can drain them).
+type queue struct {
+	mu     sync.Mutex
+	items  []*item
+	max    int
+	policy AdmissionPolicy
+	closed bool
+
+	notEmpty chan struct{} // single-slot wakeup for waiting workers
+	space    chan struct{} // single-slot wakeup for blocked submitters
+	done     chan struct{} // closed by Close
+
+	metrics *obs.Metrics
+}
+
+func newQueue(max int, policy AdmissionPolicy, metrics *obs.Metrics) *queue {
+	return &queue{
+		max:      max,
+		policy:   policy,
+		notEmpty: make(chan struct{}, 1),
+		space:    make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		metrics:  metrics,
+	}
+}
+
+// signal performs a non-blocking single-slot wakeup.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// push admits an item under the queue's policy.
+func (q *queue) push(it *item) error {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return ErrDraining
+		}
+		if len(q.items) < q.max {
+			q.items = append(q.items, it)
+			depth := len(q.items)
+			spare := depth < q.max
+			q.mu.Unlock()
+			q.metrics.Set("serve.queue_depth", float64(depth))
+			signal(q.notEmpty)
+			if spare {
+				// Chain the wakeup so several blocked submitters drain in
+				// sequence when a batch pop freed several slots at once.
+				signal(q.space)
+			}
+			return nil
+		}
+		switch q.policy {
+		case AdmitShedOldest:
+			old := q.items[0]
+			q.items = append(q.items[:0], q.items[1:]...)
+			q.items = append(q.items, it)
+			q.mu.Unlock()
+			q.metrics.Inc("serve.queue_shed")
+			old.finish(nil, ErrShed)
+			signal(q.notEmpty)
+			return nil
+		case AdmitBlock:
+			q.mu.Unlock()
+			select {
+			case <-it.ctx.Done():
+				return it.ctx.Err()
+			case <-q.space:
+				// retry
+			case <-q.done:
+				return ErrDraining
+			}
+		default: // AdmitReject
+			q.mu.Unlock()
+			q.metrics.Inc("serve.queue_rejected")
+			return ErrQueueFull
+		}
+	}
+}
+
+// pop removes the queue head, blocking until an item arrives. It returns
+// ok == false only once the queue is closed and fully drained.
+func (q *queue) pop() (*item, bool) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			it := q.items[0]
+			q.items = append(q.items[:0], q.items[1:]...)
+			depth := len(q.items)
+			q.mu.Unlock()
+			q.metrics.Set("serve.queue_depth", float64(depth))
+			signal(q.space)
+			if depth > 0 {
+				signal(q.notEmpty)
+			}
+			return it, true
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		select {
+		case <-q.notEmpty:
+		case <-q.done:
+			// Loop once more: items admitted just before Close must drain.
+		}
+	}
+}
+
+// popSameModel removes up to n further queued requests for the given
+// model (preserving the order of everything else), so a worker can
+// coalesce them into one batch. Non-blocking.
+func (q *queue) popSameModel(model string, n int) []*item {
+	if n <= 0 {
+		return nil
+	}
+	q.mu.Lock()
+	var batch []*item
+	kept := q.items[:0]
+	for _, it := range q.items {
+		if len(batch) < n && it.req.Model == model {
+			batch = append(batch, it)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	q.items = kept
+	depth := len(q.items)
+	q.mu.Unlock()
+	if len(batch) > 0 {
+		q.metrics.Set("serve.queue_depth", float64(depth))
+		signal(q.space)
+		if depth > 0 {
+			signal(q.notEmpty)
+		}
+	}
+	return batch
+}
+
+// depth returns the number of queued items.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close stops admission; already-queued items remain poppable.
+func (q *queue) close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.done)
+	}
+	q.mu.Unlock()
+}

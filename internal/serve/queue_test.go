@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newItem(model string) *item {
+	return &item{req: InferRequest{Model: model}, ctx: context.Background(), reply: make(chan result, 1), enqueued: time.Now()}
+}
+
+func TestQueueRejectWhenFull(t *testing.T) {
+	q := newQueue(2, AdmitReject, nil)
+	if err := q.push(newItem("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(newItem("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(newItem("a")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third push: %v, want ErrQueueFull", err)
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth %d", q.depth())
+	}
+}
+
+func TestQueueShedOldest(t *testing.T) {
+	q := newQueue(2, AdmitShedOldest, nil)
+	first, second, third := newItem("a"), newItem("b"), newItem("c")
+	for _, it := range []*item{first, second, third} {
+		if err := q.push(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The oldest must have been completed with ErrShed.
+	select {
+	case res := <-first.reply:
+		if !errors.Is(res.err, ErrShed) {
+			t.Fatalf("shed error %v", res.err)
+		}
+	default:
+		t.Fatal("oldest item was not shed")
+	}
+	// Remaining order: second, third.
+	it, ok := q.pop()
+	if !ok || it != second {
+		t.Fatal("head after shed is not the second item")
+	}
+	it, ok = q.pop()
+	if !ok || it != third {
+		t.Fatal("tail after shed is not the newest item")
+	}
+}
+
+func TestQueueBlockUnblocksOnPop(t *testing.T) {
+	q := newQueue(1, AdmitBlock, nil)
+	if err := q.push(newItem("a")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.push(newItem("b")) }()
+	select {
+	case err := <-done:
+		t.Fatalf("blocked push returned early: %v", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("unblocked push: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("push did not unblock after pop freed space")
+	}
+}
+
+func TestQueueBlockHonorsContext(t *testing.T) {
+	q := newQueue(1, AdmitBlock, nil)
+	if err := q.push(newItem("a")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	it := newItem("b")
+	it.ctx = ctx
+	if err := q.push(it); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("push under expired context: %v", err)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue(4, AdmitReject, nil)
+	for i := 0; i < 3; i++ {
+		if err := q.push(newItem("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.close()
+	if err := q.push(newItem("late")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-close push: %v, want ErrDraining", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.pop(); !ok {
+			t.Fatalf("pop %d failed during drain", i)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop succeeded on a closed empty queue")
+	}
+}
+
+func TestQueuePopSameModelCoalesces(t *testing.T) {
+	q := newQueue(8, AdmitReject, nil)
+	a1, b1, a2, a3 := newItem("a"), newItem("b"), newItem("a"), newItem("a")
+	for _, it := range []*item{a1, b1, a2, a3} {
+		if err := q.push(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head, ok := q.pop()
+	if !ok || head != a1 {
+		t.Fatal("head mismatch")
+	}
+	batch := q.popSameModel("a", 2)
+	if len(batch) != 2 || batch[0] != a2 || batch[1] != a3 {
+		t.Fatalf("coalesced %d items", len(batch))
+	}
+	// b1 must still be queued, in place.
+	next, ok := q.pop()
+	if !ok || next != b1 {
+		t.Fatal("other-model item lost by coalescing")
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pimflow/internal/obs"
+)
+
+func toySpec(name string) ModelSpec {
+	return ModelSpec{Name: name, Model: "toy", Policy: "PIMFlow", TotalChannels: 16, PIMChannels: 8}
+}
+
+func TestRegistryLoadListUnload(t *testing.T) {
+	m := obs.NewMetrics()
+	r := NewRegistry(DefaultMachine(), nil, m, nil)
+	lm, err := r.Load(toySpec("toy-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Solo.DurationCycles() <= 0 {
+		t.Fatalf("warm solo report: %+v", lm.Solo)
+	}
+	if lm.Demand.GPU != 8 {
+		t.Fatalf("GPU demand %d, want 8 (16 total - 8 PIM)", lm.Demand.GPU)
+	}
+	if lm.InitInterval < 1 || lm.InitInterval > lm.Solo.DurationCycles() {
+		t.Fatalf("initiation interval %d outside (0, %d]", lm.InitInterval, lm.Solo.DurationCycles())
+	}
+	infos := r.List()
+	if len(infos) != 1 || infos[0].Name != "toy-a" || infos[0].Policy != "PIMFlow" {
+		t.Fatalf("list %+v", infos)
+	}
+	if _, err := r.Load(toySpec("toy-a")); !errors.Is(err, ErrAlreadyLoaded) {
+		t.Fatalf("double load: %v", err)
+	}
+	if err := r.Unload("toy-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("toy-a"); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("after unload: %v", err)
+	}
+	if err := r.Unload("toy-a"); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("double unload: %v", err)
+	}
+}
+
+// Concurrent Loads of one name must compile once (singleflight) and all
+// return the same model.
+func TestRegistrySingleflightLoad(t *testing.T) {
+	m := obs.NewMetrics()
+	r := NewRegistry(DefaultMachine(), nil, m, nil)
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]*LoadedModel, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Load(toySpec("toy-sf"))
+		}(i)
+	}
+	wg.Wait()
+	var lm *LoadedModel
+	loaded := 0
+	for i := 0; i < n; i++ {
+		if errs[i] == nil {
+			loaded++
+			if lm == nil {
+				lm = results[i]
+			} else if lm != results[i] {
+				t.Fatal("concurrent loads returned distinct compilations")
+			}
+		} else if !errors.Is(errs[i], ErrAlreadyLoaded) {
+			t.Fatalf("load %d: %v", i, errs[i])
+		}
+	}
+	if loaded == 0 {
+		t.Fatal("no load succeeded")
+	}
+	if got := m.Counter("serve.model_loads"); got != 1 {
+		t.Fatalf("%d compiles for %d concurrent loads", got, n)
+	}
+}
+
+func TestRegistryRejectsUnknownModelAndPolicy(t *testing.T) {
+	r := NewRegistry(DefaultMachine(), nil, nil, nil)
+	if _, err := r.Load(ModelSpec{Name: "x", Model: "no-such-net"}); err == nil {
+		t.Fatal("unknown zoo model must fail")
+	}
+	if _, err := r.Load(ModelSpec{Name: "y", Model: "toy", Policy: "warp-drive"}); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d models after failed loads", r.Len())
+	}
+}
+
+// A model compiled against more channels than the machine owns can never
+// be placed, so the load must fail up front.
+func TestRegistryRejectsOversizedDemand(t *testing.T) {
+	r := NewRegistry(Machine{GPUChannels: 4, PIMChannels: 4}, nil, nil, nil)
+	if _, err := r.Load(ModelSpec{Name: "big", Model: "toy", Policy: "PIMFlow"}); err == nil {
+		t.Fatal("32-channel model on an 8-channel machine must fail to load")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]string{
+		"baseline":   "Baseline",
+		"Newton+":    "Newton+",
+		"newton++":   "Newton++",
+		"md":         "PIMFlow-md",
+		"PIMFlow-pl": "PIMFlow-pl",
+		"pimflow":    "PIMFlow",
+	} {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.String() != want {
+			t.Fatalf("%q parsed to %s, want %s", name, p, want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy must fail")
+	}
+}

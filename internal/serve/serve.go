@@ -1,0 +1,84 @@
+// Package serve turns PIMFlow's single-shot compile-and-run pipeline into
+// a concurrent model-serving subsystem operating in simulated time. It is
+// the substrate the production-scale roadmap items (sharding, multi-tenant
+// QoS, autoscaling) build on, and it has four pieces:
+//
+//   - A model Registry that compiles each model once (search.Compile over
+//     the shared profile store, gated by the static verification layer)
+//     and caches the compiled plan plus its warm solo execution report
+//     behind singleflight, with Load/Unload/List APIs.
+//
+//   - A typed request path: InferRequest/InferResponse, a bounded
+//     admission queue with a configurable backpressure policy (block,
+//     reject, or shed-oldest), per-request wall-clock deadlines honored
+//     via context, virtual-cycle deadlines enforced at placement, and
+//     graceful drain on shutdown.
+//
+//   - A resource Scheduler that models the machine as lease-able GPU- and
+//     PIM-channel groups and multiplexes concurrent requests over them in
+//     virtual time: requests whose compiled plans use disjoint channel
+//     groups overlap, contending requests queue behind earlier leases,
+//     and a simple batcher coalesces same-model requests up to a batch
+//     window before they take one shared lease.
+//
+//   - An HTTP JSON API (Server.Handler: /v1/models, /v1/models/{name},
+//     /v1/models/{name}/infer, /healthz, /metrics) wired through
+//     internal/obs so every request produces wall-clock spans,
+//     queue-depth gauges, and simulated-latency histograms. The
+//     pimflow-serve command wraps it in a CLI.
+//
+// Time has two axes here. Compilation, queueing, and HTTP handling happen
+// in wall-clock time; inference latency is accounted in simulated
+// GPU-clock cycles on one shared virtual timeline, produced by the
+// runtime's reentrant ExecuteAt entry point. A request's virtual arrival
+// stamp is the completion frontier of previously finished work, so
+// latency = completion − arrival measures queueing plus service in
+// virtual cycles, independent of host speed.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pimflow/internal/search"
+)
+
+// Sentinel errors of the request path. The HTTP layer maps them onto
+// status codes (404, 429, 503, 504).
+var (
+	// ErrNotLoaded reports an inference against a model name the registry
+	// does not hold.
+	ErrNotLoaded = errors.New("serve: model not loaded")
+	// ErrAlreadyLoaded reports a Load of a name already serving.
+	ErrAlreadyLoaded = errors.New("serve: model already loaded")
+	// ErrQueueFull is returned under AdmitReject when the admission queue
+	// is at capacity (the 429-style backpressure signal).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrShed is returned to the oldest queued request when AdmitShedOldest
+	// makes room for a newer arrival.
+	ErrShed = errors.New("serve: request shed from admission queue")
+	// ErrDraining is returned to requests arriving after shutdown began.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrDeadlineViolation reports a request whose placed completion would
+	// exceed its virtual-cycle deadline; the request is not executed.
+	ErrDeadlineViolation = errors.New("serve: virtual deadline violation")
+)
+
+// ParsePolicy resolves a policy by its paper name ("Baseline", "Newton+",
+// "Newton++", "PIMFlow-md", "PIMFlow-pl", "PIMFlow"), case-insensitively,
+// with the short aliases "md" and "pl".
+func ParsePolicy(s string) (search.Policy, error) {
+	switch strings.ToLower(s) {
+	case "md":
+		return search.PolicyMDDP, nil
+	case "pl":
+		return search.PolicyPipeline, nil
+	}
+	for _, p := range search.Policies() {
+		if strings.EqualFold(p.String(), s) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown policy %q", s)
+}

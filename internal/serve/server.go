@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"pimflow/internal/obs"
+	"pimflow/internal/profcache"
+	"pimflow/internal/runtime"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Machine is the lease-able resource pool; zero value takes the
+	// paper's 16+16 channel default.
+	Machine Machine
+	// QueueDepth bounds the admission queue (default 64).
+	QueueDepth int
+	// Admission selects the full-queue backpressure policy.
+	Admission AdmissionPolicy
+	// Workers is the number of request-processing goroutines (default 4).
+	// Workers bound host-side concurrency; simulated-time concurrency is
+	// bounded by the machine's channel groups.
+	Workers int
+	// MaxBatch is the largest same-model coalesced batch (default 1, no
+	// batching).
+	MaxBatch int
+	// BatchWindow is the extra wall-clock time a worker waits for
+	// same-model requests to coalesce after it picked up a request with
+	// batching enabled and spare batch slots (default 0: only coalesce
+	// requests already queued).
+	BatchWindow time.Duration
+	// Profiles optionally shares a profile store with other components;
+	// nil gets a private one.
+	Profiles *profcache.Store
+	// Metrics receives the serving counters, gauges, and histograms and
+	// backs the /metrics endpoint; nil gets a private registry.
+	Metrics *obs.Metrics
+	// Trace, when non-nil, collects wall-clock serving spans plus every
+	// execution's simulated-timeline spans at its placed virtual offset.
+	Trace *obs.Trace
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Machine == (Machine{}) {
+		c.Machine = DefaultMachine()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	return c
+}
+
+// InferRequest is one typed inference request.
+type InferRequest struct {
+	// Model is the serving name of a loaded model.
+	Model string `json:"model"`
+	// DeadlineCycles, when positive, is a virtual-time deadline relative
+	// to the request's arrival stamp: if the placed completion would
+	// exceed it, the request fails with ErrDeadlineViolation instead of
+	// executing (admission control in simulated time). Wall-clock
+	// deadlines travel on the context instead.
+	DeadlineCycles int64 `json:"deadlineCycles,omitempty"`
+}
+
+// InferResponse reports one served inference on the shared virtual
+// timeline.
+type InferResponse struct {
+	Model string `json:"model"`
+	// ArrivalCycle is the request's virtual arrival stamp; StartCycle and
+	// EndCycle bound its execution window.
+	ArrivalCycle int64 `json:"arrivalCycle"`
+	StartCycle   int64 `json:"startCycle"`
+	EndCycle     int64 `json:"endCycle"`
+	// QueueCycles is time spent waiting on channel-group contention;
+	// LatencyCycles is queueing plus service.
+	QueueCycles   int64 `json:"queueCycles"`
+	LatencyCycles int64 `json:"latencyCycles"`
+	// LatencyMillis is LatencyCycles in simulated milliseconds.
+	LatencyMillis float64 `json:"latencyMillis"`
+	// BatchSize and BatchIndex locate the request in its coalesced batch.
+	BatchSize  int `json:"batchSize"`
+	BatchIndex int `json:"batchIndex"`
+	// GPUBusy and PIMBusy echo the executed schedule's busy cycles.
+	GPUBusy int64 `json:"gpuBusyCycles"`
+	PIMBusy int64 `json:"pimBusyCycles"`
+}
+
+// Server is the concurrent inference service: registry in front, bounded
+// admission queue, worker pool, and the virtual-time resource scheduler.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	queue    *queue
+	sched    *Scheduler
+
+	mu       sync.Mutex
+	draining bool
+
+	wg      sync.WaitGroup
+	started time.Time
+}
+
+// NewServer builds and starts a server (its worker pool runs until
+// Shutdown).
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Profiles == nil {
+		cfg.Profiles = profcache.New()
+	}
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.Machine, cfg.Profiles, cfg.Metrics, cfg.Trace),
+		queue:    newQueue(cfg.QueueDepth, cfg.Admission, cfg.Metrics),
+		sched:    NewScheduler(cfg.Machine, cfg.Metrics),
+		started:  time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Registry exposes the model registry (Load/Unload/List).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Scheduler exposes the resource scheduler (read-mostly; tests and the
+// health endpoint use it).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *obs.Metrics { return s.cfg.Metrics }
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Infer submits one request and waits for its completion or the context's
+// end. The context carries the wall-clock deadline; req.DeadlineCycles
+// carries the virtual one.
+func (s *Server) Infer(ctx context.Context, req InferRequest) (*InferResponse, error) {
+	s.cfg.Metrics.Inc("serve.requests")
+	if s.Draining() {
+		s.cfg.Metrics.Inc("serve.errors.draining")
+		return nil, ErrDraining
+	}
+	// Fail unknown models before they occupy queue space.
+	if _, err := s.registry.Get(req.Model); err != nil {
+		s.cfg.Metrics.Inc("serve.errors.not_loaded")
+		return nil, err
+	}
+	end := s.cfg.Trace.Span("serve-req", req.Model, "serve.request", map[string]any{"model": req.Model})
+	it := &item{req: req, ctx: ctx, reply: make(chan result, 1), enqueued: time.Now()}
+	if err := s.queue.push(it); err != nil {
+		end(map[string]any{"error": err.Error()})
+		return nil, err
+	}
+	select {
+	case res := <-it.reply:
+		if res.err != nil {
+			end(map[string]any{"error": res.err.Error()})
+			s.countError(res.err)
+			return nil, res.err
+		}
+		end(map[string]any{
+			"latencyCycles": res.resp.LatencyCycles,
+			"queueCycles":   res.resp.QueueCycles,
+			"batchSize":     res.resp.BatchSize,
+		})
+		s.cfg.Metrics.Inc("serve.responses")
+		return res.resp, nil
+	case <-ctx.Done():
+		// The worker may still pick the item up; its reply lands in the
+		// buffered channel and is dropped.
+		end(map[string]any{"error": ctx.Err().Error()})
+		s.cfg.Metrics.Inc("serve.errors.context")
+		return nil, ctx.Err()
+	}
+}
+
+// countError folds an error into the metrics registry by kind.
+func (s *Server) countError(err error) {
+	switch {
+	case errors.Is(err, ErrShed):
+		s.cfg.Metrics.Inc("serve.errors.shed")
+	case errors.Is(err, ErrDeadlineViolation):
+		s.cfg.Metrics.Inc("serve.deadline_violations")
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.cfg.Metrics.Inc("serve.errors.context")
+	default:
+		s.cfg.Metrics.Inc("serve.errors.other")
+	}
+}
+
+// Shutdown drains the server gracefully: new requests fail with
+// ErrDraining, queued requests finish, workers exit. It returns the
+// context's error if draining outlives it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		s.queue.close()
+		if obs.Enabled(slog.LevelInfo) {
+			obs.L().Info("serve: draining", "queued", s.queue.depth(), "inFlight", s.sched.InFlight())
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker processes queued requests until the queue closes and drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		it, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.process(it)
+	}
+}
+
+// process serves one queue head: coalesce a same-model batch, place a
+// lease on the virtual timeline, execute the compiled plan at the placed
+// offset, and complete every batch member.
+func (s *Server) process(head *item) {
+	if err := head.ctx.Err(); err != nil {
+		head.finish(nil, err)
+		return
+	}
+	lm, err := s.registry.Get(head.req.Model)
+	if err != nil {
+		head.finish(nil, err)
+		return
+	}
+
+	batch := []*item{head}
+	if s.cfg.MaxBatch > 1 {
+		batch = append(batch, s.queue.popSameModel(head.req.Model, s.cfg.MaxBatch-1)...)
+		if s.cfg.BatchWindow > 0 && len(batch) < s.cfg.MaxBatch {
+			time.Sleep(s.cfg.BatchWindow)
+			batch = append(batch, s.queue.popSameModel(head.req.Model, s.cfg.MaxBatch-len(batch))...)
+		}
+	}
+	s.cfg.Metrics.Observe("serve.batch_size", float64(len(batch)))
+
+	arrival := s.sched.Arrival()
+	solo := lm.Solo.DurationCycles()
+
+	// Place the batch, dropping virtual-deadline violators and canceled
+	// requests until the placement is stable (each drop shortens the
+	// window, which can only help the survivors).
+	var lease Lease
+	for {
+		live := batch[:0]
+		for _, it := range batch {
+			if err := it.ctx.Err(); err != nil {
+				it.finish(nil, err)
+				continue
+			}
+			live = append(live, it)
+		}
+		batch = live
+		if len(batch) == 0 {
+			return
+		}
+		dur := solo + lm.InitInterval*int64(len(batch)-1)
+		lease, err = s.sched.Place(arrival, lm.Demand, dur)
+		if err != nil {
+			for _, it := range batch {
+				it.finish(nil, err)
+			}
+			return
+		}
+		kept := batch[:0]
+		for i, it := range batch {
+			endCycle := lease.Start + solo + lm.InitInterval*int64(i)
+			if d := it.req.DeadlineCycles; d > 0 && endCycle-arrival > d {
+				it.finish(nil, fmt.Errorf("%w: completion %d cycles after arrival exceeds deadline %d",
+					ErrDeadlineViolation, endCycle-arrival, d))
+				continue
+			}
+			kept = append(kept, it)
+		}
+		if len(kept) == len(batch) {
+			break
+		}
+		batch = kept
+		s.sched.Cancel(lease)
+		if len(batch) == 0 {
+			return
+		}
+	}
+
+	// Execute the precompiled plan at the placed virtual offset. The
+	// report lands on the shared timeline (and the shared trace, when
+	// configured); profile-store hits make warm executions cheap.
+	rep, err := runtime.ExecuteAt(lm.Graph, s.runtimeConfig(lm), lease.Start)
+	if err != nil {
+		s.sched.Cancel(lease)
+		for _, it := range batch {
+			it.finish(nil, fmt.Errorf("serve: execute %q: %w", lm.Spec.Name, err))
+		}
+		return
+	}
+
+	for i, it := range batch {
+		endCycle := lease.Start + solo + lm.InitInterval*int64(i)
+		resp := &InferResponse{
+			Model:         lm.Spec.Name,
+			ArrivalCycle:  arrival,
+			StartCycle:    lease.Start,
+			EndCycle:      endCycle,
+			QueueCycles:   lease.Start - arrival,
+			LatencyCycles: endCycle - arrival,
+			LatencyMillis: float64(endCycle-arrival) / (lm.rt.GPU.ClockGHz * 1e9) * 1e3,
+			BatchSize:     len(batch),
+			BatchIndex:    i,
+			GPUBusy:       rep.GPUBusy,
+			PIMBusy:       rep.PIMBusy,
+		}
+		s.cfg.Metrics.Observe("serve.latency_cycles", float64(resp.LatencyCycles))
+		s.cfg.Metrics.Observe("serve.queue_cycles", float64(resp.QueueCycles))
+		it.finish(resp, nil)
+	}
+	s.sched.Release(lease)
+	if obs.Enabled(slog.LevelDebug) {
+		obs.L().Debug("serve: batch served",
+			"model", lm.Spec.Name, "batch", len(batch),
+			"start", lease.Start, "end", lease.End, "queueCycles", lease.Start-arrival)
+	}
+}
+
+// runtimeConfig derives the execution configuration for one request:
+// the model's compiled configuration plus the server's shared profile
+// store and observability sinks.
+func (s *Server) runtimeConfig(lm *LoadedModel) runtime.Config {
+	rt := lm.rt
+	rt.Profiles = s.cfg.Profiles
+	rt.Trace = s.cfg.Trace
+	rt.Metrics = s.cfg.Metrics
+	return rt
+}

@@ -1,0 +1,37 @@
+package verify
+
+import (
+	"fmt"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/graph"
+	"pimflow/internal/pim"
+)
+
+// Compiled statically checks a transformed, ready-to-execute graph end to
+// end: the graph-IR invariants first, then every offloaded layer's PIM
+// command stream against the §4.1 protocol state machine and the
+// workload-coverage oracle. It returns all violations, empty when the
+// model is clean; nothing is simulated. The serving layer's model registry
+// and the public CompiledModel.Verify both gate on this sweep.
+func Compiled(g *graph.Graph, pcfg pim.Config, copts codegen.Opts) []Diagnostic {
+	diags := Graph(g)
+	for _, n := range g.Nodes {
+		if n.Exec.Device != graph.DevicePIM || !g.IsPIMCandidate(n) {
+			continue
+		}
+		w, err := codegen.NodeWorkload(g, n)
+		if err != nil {
+			diags = append(diags, Diagnostic{
+				Rule: RuleTraceCover, Node: n.Name, Channel: -1, Index: -1,
+				Msg: fmt.Sprintf("workload lowering failed: %v", err),
+			})
+			continue
+		}
+		for _, d := range Workload(w, pcfg, copts) {
+			d.Node = n.Name
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}

@@ -222,26 +222,8 @@ func VerifyGraph(g *Graph) []Diagnostic { return verify.Graph(g) }
 // machine and the workload-coverage oracle. It returns all violations,
 // empty when the model is clean; nothing is simulated.
 func (c *CompiledModel) Verify() []Diagnostic {
-	diags := verify.Graph(c.Graph)
 	rc := c.Config.RuntimeConfig()
-	for _, n := range c.Graph.Nodes {
-		if n.Exec.Device != graph.DevicePIM || !c.Graph.IsPIMCandidate(n) {
-			continue
-		}
-		w, err := codegen.NodeWorkload(c.Graph, n)
-		if err != nil {
-			diags = append(diags, Diagnostic{
-				Rule: verify.RuleTraceCover, Node: n.Name, Channel: -1, Index: -1,
-				Msg: fmt.Sprintf("workload lowering failed: %v", err),
-			})
-			continue
-		}
-		for _, d := range verify.Workload(w, rc.PIM, rc.Codegen) {
-			d.Node = n.Name
-			diags = append(diags, d)
-		}
-	}
-	return diags
+	return verify.Compiled(c.Graph, rc.PIM, rc.Codegen)
 }
 
 // Execute is a convenience wrapper: compile under the policy's default
