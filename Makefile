@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint verify-models fuzz bench report cover ci
+.PHONY: build test race vet fmt lint verify-models fuzz bench bench-scenarios report cover ci
 
 build:
 	$(GO) build ./...
@@ -39,12 +39,17 @@ fuzz:
 # benchmarks. Results are merged into $(BENCH_JSON) under $(BENCH_LABEL)
 # (machine-readable ns/op, B/op, allocs/op) by cmd/pimflow-bench; the
 # raw go test output still streams through to the terminal.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 BENCH_LABEL ?= after
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . ./internal/pim ./internal/codegen ./internal/serve | \
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem . ./internal/pim ./internal/codegen ./internal/serve ./internal/load | \
 		$(GO) run ./cmd/pimflow-bench -label $(BENCH_LABEL) -out $(BENCH_JSON)
+
+# Trace-driven serving scenarios (Poisson / diurnal / bursty) replayed
+# deterministically; results merge into the same snapshot file.
+bench-scenarios:
+	$(GO) run ./cmd/pimflow-bench -label $(BENCH_LABEL) -out $(BENCH_JSON) -scenario all
 
 # Regenerate the paper-evaluation report (must stay byte-identical to the
 # committed experiments_report.txt regardless of profile-cache warmth).

@@ -8,6 +8,14 @@
 //
 // Each entry maps the benchmark name (CPU-count suffix stripped) to
 // ns/op, B/op, allocs/op, and any custom b.ReportMetric units.
+//
+// With -scenario, the command instead drives the trace-driven load
+// harness directly (no stdin): it replays the named builtin scenarios
+// (comma-separated, or "all") through a fresh server and merges each
+// replay's throughput and simulated-latency percentiles into the same
+// snapshot file as a pseudo-benchmark entry:
+//
+//	pimflow-bench -scenario bursty -out BENCH_PR6.json
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"pimflow/internal/load"
 )
 
 // Result is one benchmark measurement. Custom metrics reported with
@@ -69,19 +79,87 @@ func parseLine(line string) (string, Result, bool) {
 	return name, r, seen
 }
 
-func run(label, out string) error {
+// loadSection reads the snapshot file (if any) and returns the full
+// result map plus the section for the given label, creating it if
+// needed.
+func loadSection(label, out string) (map[string]map[string]Result, map[string]Result, error) {
 	results := map[string]map[string]Result{}
 	if data, err := os.ReadFile(out); err == nil {
 		if err := json.Unmarshal(data, &results); err != nil {
-			return fmt.Errorf("parse existing %s: %w", out, err)
+			return nil, nil, fmt.Errorf("parse existing %s: %w", out, err)
 		}
 	} else if !os.IsNotExist(err) {
-		return err
+		return nil, nil, err
 	}
 	section := results[label]
 	if section == nil {
 		section = map[string]Result{}
 		results[label] = section
+	}
+	return results, section, nil
+}
+
+func saveSnapshot(out string, results map[string]map[string]Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+// runScenarios replays builtin load scenarios and records each replay
+// as a pseudo-benchmark entry ("Scenario/<name>"): ns/op is the
+// wall-clock replay time, everything else lands in Extra.
+func runScenarios(label, out, names string) error {
+	if names == "all" {
+		names = "poisson,diurnal,bursty"
+	}
+	results, section, err := loadSection(label, out)
+	if err != nil {
+		return err
+	}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sc, err := load.Builtin(name)
+		if err != nil {
+			return err
+		}
+		rep, err := load.Run(sc)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		section["Scenario/"+name] = Result{
+			NsPerOp: rep.WallSeconds * 1e9,
+			Extra: map[string]float64{
+				"req/s":           rep.ReqPerSec,
+				"requests":        float64(rep.Requests),
+				"served":          float64(rep.Served),
+				"shed":            float64(rep.Shed),
+				"slo_miss":        float64(rep.SLOMiss),
+				"p50_simcycles":   float64(rep.P50),
+				"p99_simcycles":   float64(rep.P99),
+				"p999_simcycles":  float64(rep.P999),
+				"mean_batch":      rep.MeanBatch,
+				"makespan_cycles": float64(rep.MakespanCycles),
+			},
+		}
+		fmt.Printf("scenario %-8s served %5d shed %5d slo_miss %5d p50 %d p99 %d p999 %d cycles (%.0f req/s)\n",
+			name, rep.Served, rep.Shed, rep.SLOMiss, rep.P50, rep.P99, rep.P999, rep.ReqPerSec)
+	}
+	if err := saveSnapshot(out, results); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pimflow-bench: recorded scenarios under %q in %s\n", label, out)
+	return nil
+}
+
+func run(label, out string) error {
+	results, section, err := loadSection(label, out)
+	if err != nil {
+		return err
 	}
 
 	parsed := 0
@@ -102,11 +180,7 @@ func run(label, out string) error {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
 
-	data, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	if err := saveSnapshot(out, results); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "pimflow-bench: recorded %d benchmarks under %q in %s\n", parsed, label, out)
@@ -115,9 +189,16 @@ func run(label, out string) error {
 
 func main() {
 	label := flag.String("label", "after", "section of the JSON file to record results under")
-	out := flag.String("out", "BENCH_PR5.json", "JSON snapshot file to merge results into")
+	out := flag.String("out", "BENCH_PR6.json", "JSON snapshot file to merge results into")
+	scenario := flag.String("scenario", "", "replay builtin load scenarios (comma-separated, or \"all\") instead of parsing go-test bench output")
 	flag.Parse()
-	if err := run(*label, *out); err != nil {
+	var err error
+	if *scenario != "" {
+		err = runScenarios(*label, *out, *scenario)
+	} else {
+		err = run(*label, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimflow-bench:", err)
 		os.Exit(1)
 	}

@@ -10,12 +10,20 @@
 //	DELETE /v1/models/{name}         unload a model
 //	POST   /v1/models/{name}/infer   run one inference
 //
-// Each -load entry is name=model, or just a model-zoo name; -policy,
-// -channels, and -pim-channels apply to every preload (per-model overrides
-// go through the HTTP load API). Inference latency is accounted in
-// simulated cycles on one shared virtual timeline: requests whose models
-// were compiled onto disjoint channel slices overlap, contending requests
-// queue, same-model requests coalesce into batches up to -max-batch.
+// Each -load entry is name=model (or just a model-zoo name), optionally
+// followed by semicolon-separated per-model options:
+//
+//	-load "gold=mobilenet-v2;slo=gold;batch=8;cycles=200000,bronze=mobilenet-v2;slo=bronze"
+//
+// with batch=N (max coalesced batch), window=D (wall batching window,
+// a Go duration), cycles=N (virtual batching window for pinned-arrival
+// traffic), and slo=class (latency class: gold, silver, bronze).
+// -policy, -channels, -pim_channels, and the global batching/SLO flags
+// (-max_batch, -batch_window, -batch_cycles, -slo) apply to every
+// preload that does not override them. Inference latency is accounted
+// in simulated cycles on one shared virtual timeline: requests whose
+// models were compiled onto disjoint channel slices overlap, contending
+// requests queue, same-model requests coalesce into batches.
 //
 // SIGINT/SIGTERM drains gracefully: queued requests finish, new ones get
 // 503, and the profile cache (when -profile-cache is set) is saved.
@@ -29,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +61,8 @@ func main() {
 		workers    = flag.Int("workers", 4, "request-processing goroutines")
 		maxBatch   = flag.Int("max_batch", 1, "largest same-model coalesced batch (1: no batching)")
 		batchWin   = flag.Duration("batch_window", 0, "extra wall-clock wait for same-model requests to coalesce")
+		batchCyc   = flag.Int64("batch_cycles", 0, "virtual-time batching window for pinned-arrival requests (cycles)")
+		sloClass   = flag.String("slo", "", "default latency class for preloads (gold, silver, bronze; empty: best-effort)")
 		profFile   = flag.String("profile-cache", "", "JSON profile-cache file: loaded at startup, saved at shutdown")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-drain budget at shutdown")
 		verbose    = flag.Bool("v", false, "info-level structured logs on stderr")
@@ -65,7 +76,8 @@ func main() {
 		obs.SetVerbosity(1)
 	}
 	if err := run(*addr, *load, *policy, *channels, *pimCh, *machineGPU, *machinePIM,
-		*queueDepth, *admission, *workers, *maxBatch, *batchWin, *profFile, *drainWait); err != nil {
+		*queueDepth, *admission, *workers, *maxBatch, *batchWin, *batchCyc, *sloClass,
+		*profFile, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "pimflow-serve:", err)
 		os.Exit(1)
 	}
@@ -73,7 +85,8 @@ func main() {
 
 func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 	queueDepth int, admission string, workers, maxBatch int,
-	batchWin time.Duration, profFile string, drainWait time.Duration) error {
+	batchWin time.Duration, batchCyc int64, sloClass, profFile string,
+	drainWait time.Duration) error {
 	adm, err := serve.ParseAdmissionPolicy(admission)
 	if err != nil {
 		return err
@@ -89,26 +102,35 @@ func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 		}
 	}
 	srv, err := serve.NewServer(serve.Config{
-		Machine:     serve.Machine{GPUChannels: machineGPU, PIMChannels: machinePIM},
-		QueueDepth:  queueDepth,
-		Admission:   adm,
-		Workers:     workers,
-		MaxBatch:    maxBatch,
-		BatchWindow: batchWin,
-		Profiles:    profiles,
+		Machine:           serve.Machine{GPUChannels: machineGPU, PIMChannels: machinePIM},
+		QueueDepth:        queueDepth,
+		Admission:         adm,
+		Workers:           workers,
+		MaxBatch:          maxBatch,
+		BatchWindow:       batchWin,
+		BatchWindowCycles: batchCyc,
+		Profiles:          profiles,
 	})
 	if err != nil {
 		return err
 	}
 
-	for _, spec := range parseLoads(load, policy, channels, pimCh) {
+	specs, err := parseLoads(load, policy, channels, pimCh, sloClass)
+	if err != nil {
+		return err
+	}
+	for _, spec := range specs {
 		lm, err := srv.Registry().Load(spec)
 		if err != nil {
 			return fmt.Errorf("preload %q: %w", spec.Name, err)
 		}
-		fmt.Printf("loaded %s (model %s, policy %s): solo %d cycles, %d GPU + %d PIM channels, compile %.2fs\n",
-			lm.Spec.Name, lm.Spec.Model, lm.Policy, lm.Solo.DurationCycles(),
-			lm.Demand.GPU, lm.Demand.PIM, lm.CompileSeconds)
+		slo := lm.SLO.Name
+		if slo == "" {
+			slo = "best-effort"
+		}
+		fmt.Printf("loaded %s (model %s, policy %s, slo %s): solo %d cycles, %d GPU + %d PIM channels, max batch %d, compile %.2fs\n",
+			lm.Spec.Name, lm.Spec.Model, lm.Policy, slo, lm.Solo.DurationCycles(),
+			lm.Demand.GPU, lm.Demand.PIM, lm.Batch.MaxBatch, lm.CompileSeconds)
 	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
@@ -147,22 +169,61 @@ func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 }
 
 // parseLoads expands the -load list into model specs. Each entry is
-// "name=model" or a bare zoo model name serving under its own name.
-func parseLoads(load, policy string, channels, pimCh int) []serve.ModelSpec {
+// "name=model" (or a bare zoo model name serving under its own name),
+// optionally followed by semicolon-separated per-model options:
+// batch=N, window=D (Go duration), cycles=N, slo=class.
+func parseLoads(load, policy string, channels, pimCh int, sloClass string) ([]serve.ModelSpec, error) {
 	var specs []serve.ModelSpec
 	for _, entry := range strings.Split(load, ",") {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
 			continue
 		}
-		name, model := entry, entry
-		if eq := strings.IndexByte(entry, '='); eq >= 0 {
-			name, model = entry[:eq], entry[eq+1:]
+		parts := strings.Split(entry, ";")
+		name, model := parts[0], parts[0]
+		if eq := strings.IndexByte(parts[0], '='); eq >= 0 {
+			name, model = parts[0][:eq], parts[0][eq+1:]
 		}
-		specs = append(specs, serve.ModelSpec{
+		spec := serve.ModelSpec{
 			Name: name, Model: model, Policy: policy,
 			TotalChannels: channels, PIMChannels: pimCh,
-		})
+			SLO: sloClass,
+		}
+		for _, opt := range parts[1:] {
+			opt = strings.TrimSpace(opt)
+			if opt == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("load entry %q: option %q is not key=value", entry, opt)
+			}
+			switch key {
+			case "batch":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("load entry %q: batch: %v", entry, err)
+				}
+				spec.MaxBatch = n
+			case "window":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return nil, fmt.Errorf("load entry %q: window: %v", entry, err)
+				}
+				spec.BatchWindowMillis = d.Milliseconds()
+			case "cycles":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("load entry %q: cycles: %v", entry, err)
+				}
+				spec.BatchWindowCycles = n
+			case "slo":
+				spec.SLO = val
+			default:
+				return nil, fmt.Errorf("load entry %q: unknown option %q (batch, window, cycles, slo)", entry, key)
+			}
+		}
+		specs = append(specs, spec)
 	}
-	return specs
+	return specs, nil
 }

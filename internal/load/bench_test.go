@@ -1,0 +1,37 @@
+package load
+
+import "testing"
+
+// benchScenario replays one builtin scenario per iteration and reports
+// the replay's wall-clock throughput plus the simulated-latency
+// percentiles of the served distribution. Together with
+// BenchmarkServeThroughput these are the serving numbers the BENCH
+// snapshots track PR over PR.
+func benchScenario(b *testing.B, name string) {
+	sc, err := Builtin(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if rep.Served == 0 {
+		b.Fatalf("nothing served: %+v", rep)
+	}
+	b.ReportMetric(rep.ReqPerSec, "req/s")
+	b.ReportMetric(float64(rep.P50), "p50_simcycles")
+	b.ReportMetric(float64(rep.P99), "p99_simcycles")
+	b.ReportMetric(float64(rep.P999), "p999_simcycles")
+	b.ReportMetric(float64(rep.Shed), "shed")
+	b.ReportMetric(float64(rep.SLOMiss), "slo_miss")
+}
+
+func BenchmarkReplayPoisson(b *testing.B) { benchScenario(b, "poisson") }
+func BenchmarkReplayDiurnal(b *testing.B) { benchScenario(b, "diurnal") }
+func BenchmarkReplayBursty(b *testing.B)  { benchScenario(b, "bursty") }

@@ -1,0 +1,499 @@
+package load
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimflow/internal/serve"
+)
+
+// ClassStats is the per-SLO-class slice of a replay report.
+type ClassStats struct {
+	Served   int   `json:"served"`
+	SLOMiss  int   `json:"sloMiss"`
+	Target   int64 `json:"targetCycles,omitempty"`
+	P50      int64 `json:"p50Cycles"`
+	P99      int64 `json:"p99Cycles"`
+	P999     int64 `json:"p999Cycles"`
+	MaxCycle int64 `json:"maxCycles"`
+}
+
+// Report summarizes one trace replay. All latency figures are virtual
+// cycles (completion minus arrival on the simulated timeline); only
+// WallSeconds and ReqPerSec touch the wall clock, and the determinism
+// tests exclude them.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Requests int    `json:"requests"`
+	Served   int    `json:"served"`
+	Shed     int    `json:"shed"`
+	Rejected int    `json:"rejected"`
+	Violated int    `json:"violated"`
+	Errors   int    `json:"errors"`
+	SLOMiss  int    `json:"sloMiss"`
+
+	P50            int64   `json:"p50Cycles"`
+	P99            int64   `json:"p99Cycles"`
+	P999           int64   `json:"p999Cycles"`
+	MaxLatency     int64   `json:"maxCycles"`
+	MeanLatency    float64 `json:"meanCycles"`
+	MeanBatch      float64 `json:"meanBatch"`
+	MakespanCycles int64   `json:"makespanCycles"`
+
+	Classes map[string]ClassStats `json:"classes,omitempty"`
+
+	WallSeconds float64 `json:"wallSeconds"`
+	ReqPerSec   float64 `json:"reqPerSec"`
+}
+
+// percentile returns the q-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// LoadModels loads every scenario model into the server's registry.
+func LoadModels(srv *serve.Server, sc Scenario) error {
+	for _, m := range sc.Models {
+		spec := serve.ModelSpec{
+			Name: m.Name, Model: m.Model, Policy: m.Policy,
+			TotalChannels: m.TotalChannels, PIMChannels: m.PIMChannels,
+			MaxBatch: m.MaxBatch, BatchWindowCycles: m.WindowCycles, SLO: m.SLO,
+		}
+		if _, err := srv.Registry().Load(spec); err != nil {
+			return fmt.Errorf("load: model %q: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// pendingReq is one admitted, not-yet-flushed request in the replay
+// driver's virtual queue.
+type pendingReq struct {
+	req      Request
+	service  int64 // warm solo estimate, for shed prediction
+	deadline int64 // SLO target, 0 best-effort
+	shed     bool
+}
+
+// virtualBatch is one model's open batch in the replay driver.
+type virtualBatch struct {
+	items      []*pendingReq
+	flushCycle int64 // 0: flush immediately (no virtual window)
+}
+
+// endHeap is a min-heap of in-service completion cycles: requests whose
+// batches are placed but whose completions are still in the future count
+// against the virtual queue depth.
+type endHeap []int64
+
+func (h endHeap) Len() int           { return len(h) }
+func (h endHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h endHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+
+func (h *endHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (h endHeap) peek() (int64, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0], true
+}
+
+// Replay drives the trace through the server deterministically: the
+// driver itself performs admission and continuous batching in virtual
+// time on a single goroutine — occupancy is open (unflushed) requests
+// plus placed requests whose completions are still in the simulated
+// future — and hands each formed batch to Server.InferBatch, which runs
+// the live path's placement, deadline, and SLO machinery synchronously.
+// Identical scenario, identical report (modulo wall-clock fields).
+func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
+	sc = sc.withDefaults()
+	shed := sc.Admission == "shed-oldest" || sc.Admission == "shed"
+	if !shed && sc.Admission != "reject" {
+		return nil, fmt.Errorf("load: replay admission %q (open-loop replay supports reject and shed-oldest)", sc.Admission)
+	}
+
+	type modelInfo struct {
+		service  int64
+		deadline int64
+		maxBatch int
+		window   int64
+	}
+	models := map[string]modelInfo{}
+	for _, m := range sc.Models {
+		lm, err := srv.Registry().Get(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		models[m.Name] = modelInfo{
+			service:  lm.Solo.DurationCycles(),
+			deadline: lm.SLOTarget,
+			maxBatch: lm.Batch.MaxBatch,
+			window:   lm.Batch.WindowCycles,
+		}
+	}
+
+	rep := &Report{Scenario: sc.Name, Requests: len(reqs), Classes: map[string]ClassStats{}}
+	started := time.Now()
+	var (
+		open     = map[string]*virtualBatch{} // per-model open batch
+		inFlight endHeap                      // completion cycles of placed work
+		lat      []int64                      // served latencies
+		classLat = map[string][]int64{}       // per-class latencies
+		batchSum int64
+		makespan int64
+	)
+
+	flush := func(model string, vb *virtualBatch) error {
+		delete(open, model)
+		var batch []serve.InferRequest
+		for _, p := range vb.items {
+			if p.shed {
+				continue
+			}
+			batch = append(batch, serve.InferRequest{Model: model, ArrivalCycle: p.req.Cycle})
+		}
+		if len(batch) == 0 {
+			return nil
+		}
+		outs, err := srv.InferBatch(context.Background(), batch, serve.BatchOptions{Execute: sc.Execute})
+		if err != nil {
+			return err
+		}
+		for _, o := range outs {
+			switch {
+			case o.Err == nil:
+				rep.Served++
+				batchSum += int64(o.Resp.BatchSize)
+				lat = append(lat, o.Resp.LatencyCycles)
+				cls := o.Resp.SLOClass
+				classLat[cls] = append(classLat[cls], o.Resp.LatencyCycles)
+				cs := rep.Classes[cls]
+				cs.Served++
+				if o.Resp.SLOMiss {
+					cs.SLOMiss++
+					rep.SLOMiss++
+				}
+				rep.Classes[cls] = cs
+				if o.Resp.EndCycle > makespan {
+					makespan = o.Resp.EndCycle
+				}
+				heap.Push(&inFlight, o.Resp.EndCycle)
+			case errors.Is(o.Err, serve.ErrDeadlineViolation):
+				rep.Violated++
+			default:
+				rep.Errors++
+			}
+		}
+		return nil
+	}
+
+	// flushDue flushes, in deterministic (flushCycle, model) order, every
+	// open batch whose virtual window the clock has passed.
+	flushDue := func(now int64) error {
+		for {
+			var dueModel string
+			var due *virtualBatch
+			for m, vb := range open {
+				if vb.flushCycle > 0 && now > vb.flushCycle {
+					if due == nil || vb.flushCycle < due.flushCycle ||
+						(vb.flushCycle == due.flushCycle && m < dueModel) {
+						dueModel, due = m, vb
+					}
+				}
+			}
+			if due == nil {
+				return nil
+			}
+			if err := flush(dueModel, due); err != nil {
+				return err
+			}
+		}
+	}
+
+	occupancy := func() int {
+		n := len(inFlight)
+		for _, vb := range open {
+			for _, p := range vb.items {
+				if !p.shed {
+					n++
+				}
+			}
+		}
+		return n
+	}
+
+	// openInOrder lists the open (unflushed, unshed) requests oldest
+	// first — the candidate order PickShedVictim expects.
+	openInOrder := func() []*pendingReq {
+		var ps []*pendingReq
+		for _, vb := range open {
+			for _, p := range vb.items {
+				if !p.shed {
+					ps = append(ps, p)
+				}
+			}
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].req.Cycle < ps[j].req.Cycle })
+		return ps
+	}
+
+	for _, r := range reqs {
+		mi, ok := models[r.Model]
+		if !ok {
+			return nil, fmt.Errorf("load: trace names unloaded model %q", r.Model)
+		}
+		if err := flushDue(r.Cycle); err != nil {
+			return nil, err
+		}
+		// Completions at or before this arrival free queue slots.
+		for {
+			end, ok := inFlight.peek()
+			if !ok || end > r.Cycle {
+				break
+			}
+			heap.Pop(&inFlight)
+		}
+		p := &pendingReq{req: r, service: mi.service, deadline: mi.deadline}
+		if occupancy() >= sc.QueueDepth {
+			if !shed {
+				rep.Rejected++
+				continue
+			}
+			// Shed the same victim the live queue would pick: open requests
+			// oldest-first plus the incoming one.
+			ps := openInOrder()
+			cands := make([]serve.ShedCandidate, 0, len(ps)+1)
+			for _, q := range ps {
+				cands = append(cands, serve.ShedCandidate{Deadline: q.deadline, Service: q.service})
+			}
+			cands = append(cands, serve.ShedCandidate{Deadline: p.deadline, Service: p.service})
+			v := serve.PickShedVictim(cands)
+			rep.Shed++
+			if v == len(ps) {
+				continue // the arrival itself was the most hopeless
+			}
+			ps[v].shed = true
+		}
+		vb := open[r.Model]
+		if vb == nil {
+			vb = &virtualBatch{}
+			if mi.maxBatch > 1 && mi.window > 0 {
+				vb.flushCycle = r.Cycle + mi.window
+			}
+			open[r.Model] = vb
+		}
+		vb.items = append(vb.items, p)
+		full := 0
+		for _, q := range vb.items {
+			if !q.shed {
+				full++
+			}
+		}
+		if full >= mi.maxBatch || vb.flushCycle == 0 {
+			if err := flush(r.Model, vb); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Trailing batches flush in deterministic order.
+	for {
+		var m string
+		var vb *virtualBatch
+		for om, ovb := range open {
+			head := int64(-1)
+			if len(ovb.items) > 0 {
+				head = ovb.items[0].req.Cycle
+			}
+			if vb == nil || head < headCycle(vb) || (head == headCycle(vb) && om < m) {
+				m, vb = om, ovb
+			}
+		}
+		if vb == nil {
+			break
+		}
+		if err := flush(m, vb); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.WallSeconds = time.Since(started).Seconds()
+	finishReport(rep, lat, classLat, batchSum, makespan)
+	return rep, nil
+}
+
+func headCycle(vb *virtualBatch) int64 {
+	if len(vb.items) == 0 {
+		return -1
+	}
+	return vb.items[0].req.Cycle
+}
+
+// finishReport folds the collected latencies into percentiles.
+func finishReport(rep *Report, lat []int64, classLat map[string][]int64, batchSum, makespan int64) {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.P50 = percentile(lat, 0.50)
+	rep.P99 = percentile(lat, 0.99)
+	rep.P999 = percentile(lat, 0.999)
+	if n := len(lat); n > 0 {
+		rep.MaxLatency = lat[n-1]
+		var sum int64
+		for _, l := range lat {
+			sum += l
+		}
+		rep.MeanLatency = float64(sum) / float64(n)
+		rep.MeanBatch = float64(batchSum) / float64(n)
+	}
+	rep.MakespanCycles = makespan
+	for cls, ls := range classLat {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		cs := rep.Classes[cls]
+		cs.P50 = percentile(ls, 0.50)
+		cs.P99 = percentile(ls, 0.99)
+		cs.P999 = percentile(ls, 0.999)
+		cs.MaxCycle = ls[len(ls)-1]
+		rep.Classes[cls] = cs
+	}
+	if rep.WallSeconds > 0 {
+		rep.ReqPerSec = float64(rep.Served) / rep.WallSeconds
+	}
+}
+
+// ReplayLive pushes the trace through the concurrent request path —
+// Server.Submit/Wait from `clients` goroutines, the admission queue, the
+// continuous batcher, and the worker pool — and reports the same virtual-
+// time statistics. Batch composition depends on goroutine interleaving,
+// so the report is NOT run-to-run deterministic; it exists for soak and
+// race coverage and for wall-clock throughput measurement.
+func ReplayLive(srv *serve.Server, sc Scenario, reqs []Request, clients int) (*Report, error) {
+	sc = sc.withDefaults()
+	if clients <= 0 {
+		clients = 8
+	}
+	rep := &Report{Scenario: sc.Name, Requests: len(reqs), Classes: map[string]ClassStats{}}
+	var (
+		mu       sync.Mutex
+		lat      []int64
+		classLat = map[string][]int64{}
+		batchSum int64
+		makespan int64
+		next     atomic.Int64
+		pending  sync.WaitGroup
+	)
+	started := time.Now()
+	var submitters sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		submitters.Add(1)
+		go func() {
+			defer submitters.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				r := reqs[i]
+				p, err := srv.Submit(context.Background(), serve.InferRequest{Model: r.Model, ArrivalCycle: r.Cycle})
+				if err != nil {
+					mu.Lock()
+					countLiveError(rep, err)
+					mu.Unlock()
+					continue
+				}
+				pending.Add(1)
+				go func() {
+					defer pending.Done()
+					resp, err := p.Wait(context.Background())
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						countLiveError(rep, err)
+						return
+					}
+					rep.Served++
+					batchSum += int64(resp.BatchSize)
+					lat = append(lat, resp.LatencyCycles)
+					classLat[resp.SLOClass] = append(classLat[resp.SLOClass], resp.LatencyCycles)
+					cs := rep.Classes[resp.SLOClass]
+					cs.Served++
+					if resp.SLOMiss {
+						cs.SLOMiss++
+						rep.SLOMiss++
+					}
+					rep.Classes[resp.SLOClass] = cs
+					if resp.EndCycle > makespan {
+						makespan = resp.EndCycle
+					}
+				}()
+			}
+		}()
+	}
+	submitters.Wait()
+	// Every request is now queued or batched; close out held batches so
+	// waiters finish without a shutdown.
+	srv.FlushBatches()
+	pending.Wait()
+	rep.WallSeconds = time.Since(started).Seconds()
+	finishReport(rep, lat, classLat, batchSum, makespan)
+	return rep, nil
+}
+
+func countLiveError(rep *Report, err error) {
+	switch {
+	case errors.Is(err, serve.ErrShed):
+		rep.Shed++
+	case errors.Is(err, serve.ErrQueueFull):
+		rep.Rejected++
+	case errors.Is(err, serve.ErrDeadlineViolation):
+		rep.Violated++
+	default:
+		rep.Errors++
+	}
+}
+
+// Run is the one-call harness: build a server for the scenario, load its
+// models, generate the trace, replay it deterministically, and shut the
+// server down. The returned report is reproducible for a fixed scenario.
+func Run(sc Scenario) (*Report, error) {
+	sc = sc.withDefaults()
+	adm, err := serve.ParseAdmissionPolicy(sc.Admission)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.NewServer(serve.Config{QueueDepth: sc.QueueDepth, Admission: adm})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown(context.Background())
+	if err := LoadModels(srv, sc); err != nil {
+		return nil, err
+	}
+	reqs, err := Generate(sc)
+	if err != nil {
+		return nil, err
+	}
+	return Replay(srv, sc, reqs)
+}

@@ -3,12 +3,14 @@ package search
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"pimflow/internal/codegen"
 	"pimflow/internal/graph"
+	"pimflow/internal/models"
 	"pimflow/internal/pim"
 	"pimflow/internal/profcache"
 	"pimflow/internal/runtime"
@@ -299,5 +301,58 @@ func TestSharedStorePlansIdentical(t *testing.T) {
 	}
 	if fmt.Sprint(planCold.Pipelines) != fmt.Sprint(planWarm.Pipelines) {
 		t.Error("shared store changed the pipeline decisions")
+	}
+}
+
+// TestRefineRatioKeepsSamples is the regression test for the refine
+// sweep's sample recording: with RefineRatio and KeepSamples both set,
+// the fine-grid probes around an interior coarse best must land in
+// LayerDecision.Samples like the coarse probes do — the recorded curve
+// is the whole search, not just the coarse pass. The old refine loop
+// updated BestTime without appending, so every sample sat on the coarse
+// grid and this fails.
+func TestRefineRatioKeepsSamples(t *testing.T) {
+	g, err := models.Build("mobilenet-v2", models.Options{Light: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(PolicyMDDP)
+	opts.RefineRatio = true
+	opts.KeepSamples = true
+	plan, err := Run(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior, offGrid := 0, 0
+	for _, d := range plan.Decisions {
+		if d.GPURatio > 0 && d.GPURatio < 1 {
+			interior++
+		}
+		for _, s := range d.Samples {
+			if s.GPURatio <= 0 || s.GPURatio >= 1 {
+				continue
+			}
+			// Refine probes are offsets of RefineStep (default 0.02) from
+			// the coarse best, so they miss the coarse grid r = i*RatioStep.
+			k := s.GPURatio / opts.RatioStep
+			if math.Abs(k-math.Round(k)) > 1e-9 {
+				offGrid++
+			}
+		}
+	}
+	if interior == 0 {
+		t.Fatal("no interior-best decision; the refine pass never ran and the test is vacuous")
+	}
+	if offGrid == 0 {
+		t.Fatalf("refine probed %d interior-best layers but recorded no off-grid samples", interior)
+	}
+	// The recorded minimum must still agree with BestTime (the invariant
+	// TestKeepSamplesRecordsCurve checks for the coarse pass).
+	for _, d := range plan.Decisions {
+		for _, s := range d.Samples {
+			if s.Cycles < d.BestTime {
+				t.Fatalf("node %q: sample %.3f/%d beats BestTime %d", d.Node, s.GPURatio, s.Cycles, d.BestTime)
+			}
+		}
 	}
 }

@@ -145,6 +145,9 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 						if err != nil {
 							continue
 						}
+						if opts.KeepSamples {
+							d.Samples = append(d.Samples, RatioSample{GPURatio: r, Cycles: t})
+						}
 						if t < d.BestTime {
 							d.BestTime = t
 							d.GPURatio = r

@@ -18,6 +18,9 @@ type inferBody struct {
 	// TimeoutMillis bounds the request's wall-clock residence (queueing
 	// plus processing) via a context deadline.
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// ArrivalCycle pins the request's virtual arrival stamp (see
+	// InferRequest.ArrivalCycle).
+	ArrivalCycle int64 `json:"arrivalCycle,omitempty"`
 }
 
 // errorBody is the JSON error envelope.
@@ -91,6 +94,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"models":        s.registry.Len(),
 		"queueDepth":    s.queue.depth(),
 		"leasesActive":  s.sched.InFlight(),
+		"scheduler":     s.sched.Stats(),
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 	})
 }
@@ -120,11 +124,14 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"name":       lm.Spec.Name,
-		"model":      lm.Spec.Model,
-		"policy":     lm.Policy.String(),
-		"soloCycles": lm.Solo.DurationCycles(),
-		"demand":     lm.Demand,
+		"name":            lm.Spec.Name,
+		"model":           lm.Spec.Model,
+		"policy":          lm.Policy.String(),
+		"soloCycles":      lm.Solo.DurationCycles(),
+		"demand":          lm.Demand,
+		"maxBatch":        lm.Batch.MaxBatch,
+		"slo":             lm.SLO.Name,
+		"sloTargetCycles": lm.SLOTarget,
 	})
 }
 
@@ -151,6 +158,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.Infer(ctx, InferRequest{
 		Model:          r.PathValue("name"),
 		DeadlineCycles: body.DeadlineCycles,
+		ArrivalCycle:   body.ArrivalCycle,
 	})
 	if err != nil {
 		writeError(w, err)

@@ -21,8 +21,12 @@ const (
 	// AdmitBlock blocks the submitter until space frees or its context
 	// ends.
 	AdmitBlock
-	// AdmitShedOldest drops the oldest queued request (completing it with
-	// ErrShed) to make room for the new arrival.
+	// AdmitShedOldest makes room for a new arrival by shedding the queued
+	// request chosen by PickShedVictim: a canceled request first, then the
+	// SLO-bearing request most likely to miss its virtual deadline, then
+	// the oldest best-effort request, then the oldest outright. When the
+	// new arrival itself is the most hopeless candidate, admission fails
+	// with ErrShed instead of displacing queued work.
 	AdmitShedOldest
 )
 
@@ -57,12 +61,26 @@ type result struct {
 	err  error
 }
 
-// item is one queued request plus its completion channel.
+// item is one queued request plus its completion channel and the
+// admission-time stamps the shed policy and the batcher read.
 type item struct {
 	req      InferRequest
 	ctx      context.Context
 	reply    chan result
 	enqueued time.Time
+	// service is the estimated service time in cycles (warm solo latency
+	// of the model), stamped at admission for shed-victim selection.
+	service int64
+	// slo is the effective virtual-cycle deadline: the tighter of the
+	// request's explicit DeadlineCycles and the model's SLO target; 0
+	// means best-effort.
+	slo int64
+	// arrival is the pinned virtual arrival stamp (req.ArrivalCycle); 0
+	// stamps the request from the completion frontier at placement.
+	arrival int64
+	// flush marks the batcher's flush sentinel (see Server.FlushBatches);
+	// it never carries a request.
+	flush bool
 }
 
 // finish completes the item. The reply channel has capacity one and is
@@ -70,6 +88,15 @@ type item struct {
 // submitter already gave up.
 func (it *item) finish(resp *InferResponse, err error) {
 	it.reply <- result{resp: resp, err: err}
+}
+
+// candidate projects the item for shed-victim selection.
+func (it *item) candidate() ShedCandidate {
+	return ShedCandidate{
+		Canceled: it.ctx.Err() != nil,
+		Deadline: it.slo,
+		Service:  it.service,
+	}
 }
 
 // queue is the bounded admission queue: a FIFO of pending requests with a
@@ -108,6 +135,13 @@ func signal(ch chan struct{}) {
 	}
 }
 
+// setDepthLocked publishes the queue-depth gauge. It must run under q.mu:
+// publishing after the unlock lets concurrent push/pop interleave their
+// stale depths out of order and park the gauge on a wrong value.
+func (q *queue) setDepthLocked() {
+	q.metrics.Set("serve.queue_depth", float64(len(q.items)))
+}
+
 // push admits an item under the queue's policy.
 func (q *queue) push(it *item) error {
 	for {
@@ -118,10 +152,9 @@ func (q *queue) push(it *item) error {
 		}
 		if len(q.items) < q.max {
 			q.items = append(q.items, it)
-			depth := len(q.items)
-			spare := depth < q.max
+			spare := len(q.items) < q.max
+			q.setDepthLocked()
 			q.mu.Unlock()
-			q.metrics.Set("serve.queue_depth", float64(depth))
 			signal(q.notEmpty)
 			if spare {
 				// Chain the wakeup so several blocked submitters drain in
@@ -132,9 +165,23 @@ func (q *queue) push(it *item) error {
 		}
 		switch q.policy {
 		case AdmitShedOldest:
-			old := q.items[0]
-			q.items = append(q.items[:0], q.items[1:]...)
+			cands := make([]ShedCandidate, 0, len(q.items)+1)
+			for _, qi := range q.items {
+				cands = append(cands, qi.candidate())
+			}
+			cands = append(cands, it.candidate())
+			v := PickShedVictim(cands)
+			if v == len(q.items) {
+				// The arrival itself is the most hopeless candidate:
+				// refuse it rather than displace queued work.
+				q.mu.Unlock()
+				q.metrics.Inc("serve.queue_shed")
+				return ErrShed
+			}
+			old := q.items[v]
+			q.items = append(q.items[:v], q.items[v+1:]...)
 			q.items = append(q.items, it)
+			q.setDepthLocked()
 			q.mu.Unlock()
 			q.metrics.Inc("serve.queue_shed")
 			old.finish(nil, ErrShed)
@@ -161,61 +208,103 @@ func (q *queue) push(it *item) error {
 // pop removes the queue head, blocking until an item arrives. It returns
 // ok == false only once the queue is closed and fully drained.
 func (q *queue) pop() (*item, bool) {
+	it, ok, _ := q.popUntil(nil)
+	return it, ok
+}
+
+// popUntil removes the next live queue item, blocking until one arrives,
+// the timeout channel fires (timedOut true), or the queue is closed and
+// fully drained (ok false). Requests whose context already ended are
+// completed with their context error at pop time and never returned, so a
+// dead request can never occupy a batch slot a live one should have taken.
+func (q *queue) popUntil(timeout <-chan time.Time) (it *item, ok bool, timedOut bool) {
 	for {
 		q.mu.Lock()
-		if len(q.items) > 0 {
-			it := q.items[0]
+		popped := 0
+		for len(q.items) > 0 {
+			head := q.items[0]
 			q.items = append(q.items[:0], q.items[1:]...)
+			popped++
+			if !head.flush {
+				if err := head.ctx.Err(); err != nil {
+					// Dead at pop time: complete it now and keep scanning.
+					head.finish(nil, err)
+					q.metrics.Inc("serve.queue_expired")
+					continue
+				}
+			}
+			q.setDepthLocked()
 			depth := len(q.items)
 			q.mu.Unlock()
-			q.metrics.Set("serve.queue_depth", float64(depth))
 			signal(q.space)
 			if depth > 0 {
 				signal(q.notEmpty)
 			}
-			return it, true
+			return head, true, false
+		}
+		if popped > 0 {
+			q.setDepthLocked()
 		}
 		closed := q.closed
 		q.mu.Unlock()
+		if popped > 0 {
+			signal(q.space)
+		}
 		if closed {
-			return nil, false
+			return nil, false, false
 		}
 		select {
 		case <-q.notEmpty:
 		case <-q.done:
 			// Loop once more: items admitted just before Close must drain.
+		case <-timeout:
+			return nil, true, true
 		}
 	}
 }
 
-// popSameModel removes up to n further queued requests for the given
-// model (preserving the order of everything else), so a worker can
-// coalesce them into one batch. Non-blocking.
-func (q *queue) popSameModel(model string, n int) []*item {
-	if n <= 0 {
-		return nil
-	}
+// tryPop removes the next live queue item without blocking; ok is false
+// when the queue is momentarily empty (or closed and drained).
+func (q *queue) tryPop() (*item, bool) {
 	q.mu.Lock()
-	var batch []*item
-	kept := q.items[:0]
-	for _, it := range q.items {
-		if len(batch) < n && it.req.Model == model {
-			batch = append(batch, it)
-			continue
+	for len(q.items) > 0 {
+		head := q.items[0]
+		q.items = append(q.items[:0], q.items[1:]...)
+		if !head.flush {
+			if err := head.ctx.Err(); err != nil {
+				head.finish(nil, err)
+				q.metrics.Inc("serve.queue_expired")
+				continue
+			}
 		}
-		kept = append(kept, it)
-	}
-	q.items = kept
-	depth := len(q.items)
-	q.mu.Unlock()
-	if len(batch) > 0 {
-		q.metrics.Set("serve.queue_depth", float64(depth))
+		q.setDepthLocked()
+		depth := len(q.items)
+		q.mu.Unlock()
 		signal(q.space)
 		if depth > 0 {
 			signal(q.notEmpty)
 		}
+		return head, true
 	}
-	return batch
+	q.setDepthLocked()
+	q.mu.Unlock()
+	signal(q.space)
+	return nil, false
+}
+
+// pushSentinel enqueues a control item (batcher flush) regardless of the
+// admission policy and capacity; it reports false when the queue is
+// already closed (the dispatcher then flushes everything on drain anyway).
+func (q *queue) pushSentinel(it *item) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, it)
+	q.mu.Unlock()
+	signal(q.notEmpty)
+	return true
 }
 
 // depth returns the number of queued items.

@@ -3,8 +3,11 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
+
+	"pimflow/internal/obs"
 )
 
 func newItem(model string) *item {
@@ -115,25 +118,179 @@ func TestQueueCloseDrains(t *testing.T) {
 	}
 }
 
-func TestQueuePopSameModelCoalesces(t *testing.T) {
+// The queue-depth gauge must be published under the queue lock: a gauge
+// set after the unlock can interleave with a concurrent pop's set and
+// park on a stale value. Hammer push/pop from many goroutines and check
+// the gauge matches the real depth at the end (run under -race too).
+func TestQueueDepthGaugePublishedUnderLock(t *testing.T) {
+	m := obs.NewMetrics()
+	q := newQueue(1024, AdmitReject, m)
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := q.push(newItem("a")); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					if _, ok := q.tryPop(); !ok {
+						t.Error("tryPop on non-empty queue failed")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := m.Gauge("serve.queue_depth"), float64(q.depth()); got != want {
+		t.Fatalf("queue_depth gauge %v, real depth %v", got, want)
+	}
+}
+
+// Requests whose context ended while queued must be completed at pop time
+// and never returned: a dead request must not occupy a batch slot.
+func TestQueuePopSkipsExpired(t *testing.T) {
 	q := newQueue(8, AdmitReject, nil)
-	a1, b1, a2, a3 := newItem("a"), newItem("b"), newItem("a"), newItem("a")
-	for _, it := range []*item{a1, b1, a2, a3} {
+	live1, dead, live2 := newItem("a"), newItem("a"), newItem("a")
+	ctx, cancel := context.WithCancel(context.Background())
+	dead.ctx = ctx
+	for _, it := range []*item{live1, dead, live2} {
 		if err := q.push(it); err != nil {
 			t.Fatal(err)
 		}
 	}
-	head, ok := q.pop()
-	if !ok || head != a1 {
-		t.Fatal("head mismatch")
+	cancel()
+	if it, ok := q.pop(); !ok || it != live1 {
+		t.Fatal("first pop should return the first live item")
 	}
-	batch := q.popSameModel("a", 2)
-	if len(batch) != 2 || batch[0] != a2 || batch[1] != a3 {
-		t.Fatalf("coalesced %d items", len(batch))
+	if it, ok := q.pop(); !ok || it != live2 {
+		t.Fatal("second pop must skip the canceled item")
 	}
-	// b1 must still be queued, in place.
-	next, ok := q.pop()
-	if !ok || next != b1 {
-		t.Fatal("other-model item lost by coalescing")
+	select {
+	case res := <-dead.reply:
+		if !errors.Is(res.err, context.Canceled) {
+			t.Fatalf("expired item completed with %v, want context.Canceled", res.err)
+		}
+	default:
+		t.Fatal("expired item was not completed at pop time")
+	}
+}
+
+// Under AdmitShedOldest a canceled queued request is dead weight and must
+// be the shed victim before any live request.
+func TestQueueShedPrefersCanceled(t *testing.T) {
+	q := newQueue(2, AdmitShedOldest, nil)
+	oldest, dead := newItem("a"), newItem("b")
+	ctx, cancel := context.WithCancel(context.Background())
+	dead.ctx = ctx
+	for _, it := range []*item{oldest, dead} {
+		if err := q.push(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	if err := q.push(newItem("c")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-dead.reply:
+		if !errors.Is(res.err, ErrShed) {
+			t.Fatalf("canceled item finished with %v, want ErrShed", res.err)
+		}
+	default:
+		t.Fatal("canceled item was not the shed victim")
+	}
+	select {
+	case res := <-oldest.reply:
+		t.Fatalf("oldest live item was shed (%v) despite a canceled candidate", res.err)
+	default:
+	}
+}
+
+// Under AdmitShedOldest the victim among live requests is the SLO-bearing
+// one most likely to miss its virtual deadline, not blindly the oldest.
+func TestQueueShedPrefersPredictedMisser(t *testing.T) {
+	q := newQueue(3, AdmitShedOldest, nil)
+	sloItem := func(model string, service, deadline int64) *item {
+		it := newItem(model)
+		it.service, it.slo = service, deadline
+		return it
+	}
+	oldest := sloItem("a", 100, 10_000) // meets: 100 <= 10000
+	hopeless := sloItem("b", 100, 150)  // misses: 100+100 > 150
+	healthy := sloItem("c", 100, 10_000)
+	for _, it := range []*item{oldest, hopeless, healthy} {
+		if err := q.push(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.push(sloItem("d", 100, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-hopeless.reply:
+		if !errors.Is(res.err, ErrShed) {
+			t.Fatalf("predicted misser finished with %v, want ErrShed", res.err)
+		}
+	default:
+		t.Fatal("predicted SLO misser was not the shed victim")
+	}
+	select {
+	case res := <-oldest.reply:
+		t.Fatalf("oldest item was shed (%v) despite a predicted misser behind it", res.err)
+	default:
+	}
+}
+
+// When the incoming request itself is the most hopeless candidate, the
+// queue refuses it with ErrShed instead of displacing queued work.
+func TestQueueShedRefusesHopelessArrival(t *testing.T) {
+	q := newQueue(2, AdmitShedOldest, nil)
+	sloItem := func(model string, service, deadline int64) *item {
+		it := newItem(model)
+		it.service, it.slo = service, deadline
+		return it
+	}
+	a, b := sloItem("a", 100, 10_000), sloItem("b", 100, 10_000)
+	for _, it := range []*item{a, b} {
+		if err := q.push(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Incoming has 200 cycles of backlog ahead plus 100 of its own against
+	// a 150-cycle deadline: the worst predicted miss in the queue.
+	if err := q.push(sloItem("c", 100, 150)); !errors.Is(err, ErrShed) {
+		t.Fatalf("hopeless arrival admitted: %v, want ErrShed", err)
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth %d after refused arrival, want 2", q.depth())
+	}
+	select {
+	case res := <-a.reply:
+		t.Fatalf("queued item displaced (%v) by a hopeless arrival", res.err)
+	default:
+	}
+}
+
+// The flush sentinel bypasses capacity and admission policy.
+func TestQueueSentinelBypassesCapacity(t *testing.T) {
+	q := newQueue(1, AdmitReject, nil)
+	if err := q.push(newItem("a")); err != nil {
+		t.Fatal(err)
+	}
+	s := &item{flush: true, ctx: context.Background(), reply: make(chan result, 1)}
+	if !q.pushSentinel(s) {
+		t.Fatal("sentinel rejected on an open queue")
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth %d", q.depth())
+	}
+	q.close()
+	if q.pushSentinel(&item{flush: true, ctx: context.Background(), reply: make(chan result, 1)}) {
+		t.Fatal("sentinel accepted on a closed queue")
 	}
 }

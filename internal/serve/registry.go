@@ -33,6 +33,17 @@ type ModelSpec struct {
 	// can overlap with other models on the machine.
 	TotalChannels int `json:"totalChannels,omitempty"`
 	PIMChannels   int `json:"pimChannels,omitempty"`
+	// MaxBatch overrides the server's default coalescing limit for this
+	// model (0: inherit).
+	MaxBatch int `json:"maxBatch,omitempty"`
+	// BatchWindowMillis overrides the server's wall-clock batching window
+	// (0: inherit); BatchWindowCycles overrides the virtual-time window
+	// applied to pinned-arrival traffic (0: inherit).
+	BatchWindowMillis int64 `json:"batchWindowMillis,omitempty"`
+	BatchWindowCycles int64 `json:"batchWindowCycles,omitempty"`
+	// SLO names the model's latency class in the server's configured
+	// ladder ("" is best-effort).
+	SLO string `json:"slo,omitempty"`
 }
 
 // LoadedModel is one compiled, verified, ready-to-serve model: the
@@ -58,6 +69,13 @@ type LoadedModel struct {
 	InitInterval int64
 	// CompileSeconds is the wall-clock cost of the load's compile step.
 	CompileSeconds float64
+	// Batch is the model's resolved continuous-batching policy (spec
+	// overrides folded over the server defaults).
+	Batch BatchPolicy
+	// SLO is the model's resolved latency class; SLOTarget is its
+	// completion target in virtual cycles (0: best-effort).
+	SLO       SLOClass
+	SLOTarget int64
 
 	rt runtime.Config
 }
@@ -72,6 +90,28 @@ type ModelInfo struct {
 	SoloMillis     float64 `json:"soloMillis"`
 	InitInterval   int64   `json:"initIntervalCycles"`
 	CompileSeconds float64 `json:"compileSeconds"`
+	MaxBatch       int     `json:"maxBatch"`
+	SLO            string  `json:"slo,omitempty"`
+	SLOTarget      int64   `json:"sloTargetCycles,omitempty"`
+}
+
+// ServingDefaults are the server-level batching and SLO defaults a model
+// spec's per-model overrides fold over at load time.
+type ServingDefaults struct {
+	MaxBatch          int
+	BatchWindow       time.Duration
+	BatchWindowCycles int64
+	SLOClasses        []SLOClass
+}
+
+func (d ServingDefaults) withDefaults() ServingDefaults {
+	if d.MaxBatch <= 0 {
+		d.MaxBatch = 1
+	}
+	if d.SLOClasses == nil {
+		d.SLOClasses = DefaultSLOClasses()
+	}
+	return d
 }
 
 // Registry compiles and caches serving models. Loads are verify-gated
@@ -86,6 +126,7 @@ type Registry struct {
 	profiles *profcache.Store
 	metrics  *obs.Metrics
 	trace    *obs.Trace
+	defaults ServingDefaults
 
 	mu       sync.Mutex
 	models   map[string]*LoadedModel
@@ -99,8 +140,10 @@ type loadFlight struct {
 }
 
 // NewRegistry returns an empty registry over the machine. A nil profile
-// store gets a private one; metrics and trace may be nil.
-func NewRegistry(m Machine, profiles *profcache.Store, metrics *obs.Metrics, trace *obs.Trace) *Registry {
+// store gets a private one; metrics and trace may be nil. defaults
+// supplies the server-level batching and SLO policy that per-model spec
+// overrides fold over.
+func NewRegistry(m Machine, profiles *profcache.Store, metrics *obs.Metrics, trace *obs.Trace, defaults ServingDefaults) *Registry {
 	if profiles == nil {
 		profiles = profcache.New()
 	}
@@ -109,6 +152,7 @@ func NewRegistry(m Machine, profiles *profcache.Store, metrics *obs.Metrics, tra
 		profiles: profiles,
 		metrics:  metrics,
 		trace:    trace,
+		defaults: defaults.withDefaults(),
 		models:   map[string]*LoadedModel{},
 		inflight: map[string]*loadFlight{},
 	}
@@ -191,6 +235,26 @@ func (r *Registry) compileInner(spec ModelSpec) (*LoadedModel, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resolve the serving policy before the expensive compile so a typo'd
+	// SLO class fails the load immediately.
+	slo, err := findSLO(r.defaults.SLOClasses, spec.SLO)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load %q: %w", spec.Name, err)
+	}
+	batch := BatchPolicy{
+		MaxBatch:     r.defaults.MaxBatch,
+		Window:       r.defaults.BatchWindow,
+		WindowCycles: r.defaults.BatchWindowCycles,
+	}
+	if spec.MaxBatch > 0 {
+		batch.MaxBatch = spec.MaxBatch
+	}
+	if spec.BatchWindowMillis > 0 {
+		batch.Window = time.Duration(spec.BatchWindowMillis) * time.Millisecond
+	}
+	if spec.BatchWindowCycles > 0 {
+		batch.WindowCycles = spec.BatchWindowCycles
+	}
 	g, err := models.Build(spec.Model, models.Options{Light: true})
 	if err != nil {
 		return nil, fmt.Errorf("serve: load %q: %w", spec.Name, err)
@@ -254,7 +318,9 @@ func (r *Registry) compileInner(spec ModelSpec) (*LoadedModel, error) {
 	return &LoadedModel{
 		Spec: spec, Policy: policy, Opts: opts,
 		Graph: compiled, Plan: plan, Solo: solo,
-		Demand: demand, InitInterval: ii, rt: rt,
+		Demand: demand, InitInterval: ii,
+		Batch: batch, SLO: slo, SLOTarget: slo.Target(solo.DurationCycles()),
+		rt: rt,
 	}, nil
 }
 
@@ -297,6 +363,9 @@ func (r *Registry) List() []ModelInfo {
 			SoloMillis:     lm.Solo.Seconds * 1e3,
 			InitInterval:   lm.InitInterval,
 			CompileSeconds: lm.CompileSeconds,
+			MaxBatch:       lm.Batch.MaxBatch,
+			SLO:            lm.SLO.Name,
+			SLOTarget:      lm.SLOTarget,
 		})
 	}
 	r.mu.Unlock()

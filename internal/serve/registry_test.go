@@ -14,7 +14,7 @@ func toySpec(name string) ModelSpec {
 
 func TestRegistryLoadListUnload(t *testing.T) {
 	m := obs.NewMetrics()
-	r := NewRegistry(DefaultMachine(), nil, m, nil)
+	r := NewRegistry(DefaultMachine(), nil, m, nil, ServingDefaults{})
 	lm, err := r.Load(toySpec("toy-a"))
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +50,7 @@ func TestRegistryLoadListUnload(t *testing.T) {
 // return the same model.
 func TestRegistrySingleflightLoad(t *testing.T) {
 	m := obs.NewMetrics()
-	r := NewRegistry(DefaultMachine(), nil, m, nil)
+	r := NewRegistry(DefaultMachine(), nil, m, nil, ServingDefaults{})
 	const n = 8
 	var wg sync.WaitGroup
 	results := make([]*LoadedModel, n)
@@ -86,7 +86,7 @@ func TestRegistrySingleflightLoad(t *testing.T) {
 }
 
 func TestRegistryRejectsUnknownModelAndPolicy(t *testing.T) {
-	r := NewRegistry(DefaultMachine(), nil, nil, nil)
+	r := NewRegistry(DefaultMachine(), nil, nil, nil, ServingDefaults{})
 	if _, err := r.Load(ModelSpec{Name: "x", Model: "no-such-net"}); err == nil {
 		t.Fatal("unknown zoo model must fail")
 	}
@@ -101,7 +101,7 @@ func TestRegistryRejectsUnknownModelAndPolicy(t *testing.T) {
 // A model compiled against more channels than the machine owns can never
 // be placed, so the load must fail up front.
 func TestRegistryRejectsOversizedDemand(t *testing.T) {
-	r := NewRegistry(Machine{GPUChannels: 4, PIMChannels: 4}, nil, nil, nil)
+	r := NewRegistry(Machine{GPUChannels: 4, PIMChannels: 4}, nil, nil, nil, ServingDefaults{})
 	if _, err := r.Load(ModelSpec{Name: "big", Model: "toy", Policy: "PIMFlow"}); err == nil {
 		t.Fatal("32-channel model on an 8-channel machine must fail to load")
 	}

@@ -52,6 +52,16 @@ type Lease struct {
 	Demand Demand
 }
 
+// leaseRec is the scheduler's bookkeeping for one lease. Released leases
+// are retained (still blocking their historical window) until the arrival
+// watermark passes their end: requests with pinned virtual arrivals can
+// arrive earlier than already-completed work, and their placement must
+// still see the busy windows of that work.
+type leaseRec struct {
+	Lease
+	released bool
+}
+
 // Scheduler multiplexes requests over the machine's channel groups in
 // virtual time. Placement is earliest-fit: a request starts at its virtual
 // arrival stamp when its channel demand fits alongside every overlapping
@@ -59,15 +69,26 @@ type Lease struct {
 // so requests with disjoint channel groups overlap and contending
 // requests queue. The scheduler only does bookkeeping; the actual
 // simulated execution is launched by the server at the placed offset.
+//
+// Arrival stamps must be nondecreasing across Place calls: the stamp is
+// also the pruning watermark beyond which completed leases are forgotten.
+// Frontier-stamped live traffic satisfies this by construction; trace
+// replay satisfies it by generating sorted arrivals.
 type Scheduler struct {
 	mu      sync.Mutex
 	machine Machine
-	active  []Lease
+	active  []leaseRec
 	nextID  uint64
 	// vfront is the completion frontier: the max end of released leases.
 	// It stamps the virtual arrival of subsequent requests.
-	vfront  int64
-	metrics *obs.Metrics
+	vfront int64
+	// watermark is the max arrival stamp seen; released leases ending at
+	// or before it can no longer affect any future placement and are
+	// pruned.
+	watermark int64
+	placed    int64
+	pruned    int64
+	metrics   *obs.Metrics
 }
 
 // NewScheduler returns an empty scheduler over the machine.
@@ -93,15 +114,57 @@ func (s *Scheduler) Arrival() int64 {
 	return s.vfront
 }
 
-// InFlight returns the number of live leases.
+// InFlight returns the number of live (unreleased) leases.
 func (s *Scheduler) InFlight() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.active)
+	return s.inFlightLocked()
+}
+
+func (s *Scheduler) inFlightLocked() int {
+	n := 0
+	for i := range s.active {
+		if !s.active[i].released {
+			n++
+		}
+	}
+	return n
+}
+
+// SchedulerStats is a read-only snapshot of the scheduler's bookkeeping.
+type SchedulerStats struct {
+	// InFlight is the number of unreleased leases; Retained counts
+	// released leases kept as placement history for pinned arrivals.
+	InFlight int `json:"inFlight"`
+	Retained int `json:"retained"`
+	// FrontierCycles is the completion frontier; WatermarkCycles the max
+	// arrival stamp seen.
+	FrontierCycles  int64 `json:"frontierCycles"`
+	WatermarkCycles int64 `json:"watermarkCycles"`
+	// Placed and Pruned count leases over the scheduler's lifetime.
+	Placed int64 `json:"placed"`
+	Pruned int64 `json:"pruned"`
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inFlight := s.inFlightLocked()
+	return SchedulerStats{
+		InFlight:        inFlight,
+		Retained:        len(s.active) - inFlight,
+		FrontierCycles:  s.vfront,
+		WatermarkCycles: s.watermark,
+		Placed:          s.placed,
+		Pruned:          s.pruned,
+	}
 }
 
 // Place reserves the earliest window of length dur starting at or after
-// the arrival stamp where demand fits alongside every overlapping lease.
+// the arrival stamp where demand fits alongside every overlapping lease
+// (including retained completed leases — history an early pinned arrival
+// must still queue behind).
 func (s *Scheduler) Place(arrival int64, d Demand, dur int64) (Lease, error) {
 	if !s.Fits(d) {
 		return Lease{}, fmt.Errorf("serve: demand %+v exceeds machine %+v", d, s.machine)
@@ -111,12 +174,30 @@ func (s *Scheduler) Place(arrival int64, d Demand, dur int64) (Lease, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.watermark = num.Max64(s.watermark, arrival)
+	s.pruneLocked()
 	start := s.earliestFitLocked(arrival, d, dur)
 	s.nextID++
+	s.placed++
 	l := Lease{id: s.nextID, Start: start, End: start + dur, Demand: d}
-	s.active = append(s.active, l)
-	s.metrics.Set("serve.leases_active", float64(len(s.active)))
+	s.active = append(s.active, leaseRec{Lease: l})
+	s.metrics.Set("serve.leases_active", float64(s.inFlightLocked()))
 	return l, nil
+}
+
+// pruneLocked drops released leases whose windows can no longer overlap
+// any future placement (arrival stamps are nondecreasing, so anything
+// ending at or before the watermark is history nobody will ask about).
+func (s *Scheduler) pruneLocked() {
+	kept := s.active[:0]
+	for _, r := range s.active {
+		if r.released && r.End <= s.watermark {
+			s.pruned++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.active = kept
 }
 
 // earliestFitLocked scans candidate start times — the arrival stamp and
@@ -124,7 +205,8 @@ func (s *Scheduler) Place(arrival int64, d Demand, dur int64) (Lease, error) {
 // keeps both channel groups within capacity.
 func (s *Scheduler) earliestFitLocked(arrival int64, d Demand, dur int64) int64 {
 	cands := []int64{arrival}
-	for _, l := range s.active {
+	for i := range s.active {
+		l := &s.active[i]
 		if l.End > arrival {
 			cands = append(cands, l.End)
 		}
@@ -141,8 +223,8 @@ func (s *Scheduler) earliestFitLocked(arrival int64, d Demand, dur int64) int64 
 	// Unreachable: past the last lease end the machine is empty and Fits
 	// was checked, but fall back to serializing after everything.
 	var last int64 = arrival
-	for _, l := range s.active {
-		last = num.Max64(last, l.End)
+	for i := range s.active {
+		last = num.Max64(last, s.active[i].End)
 	}
 	return last
 }
@@ -152,15 +234,15 @@ func (s *Scheduler) earliestFitLocked(arrival int64, d Demand, dur int64) int64 
 // lease start is exact.
 func (s *Scheduler) windowFitsLocked(t0, t1 int64, d Demand) bool {
 	points := []int64{t0}
-	for _, l := range s.active {
-		if l.Start > t0 && l.Start < t1 {
+	for i := range s.active {
+		if l := &s.active[i]; l.Start > t0 && l.Start < t1 {
 			points = append(points, l.Start)
 		}
 	}
 	for _, p := range points {
 		gpu, pim := d.GPU, d.PIM
-		for _, l := range s.active {
-			if l.Start <= p && p < l.End {
+		for i := range s.active {
+			if l := &s.active[i]; l.Start <= p && p < l.End {
 				gpu += l.Demand.GPU
 				pim += l.Demand.PIM
 			}
@@ -173,22 +255,26 @@ func (s *Scheduler) windowFitsLocked(t0, t1 int64, d Demand) bool {
 }
 
 // Release retires a lease, advancing the completion frontier to its end.
+// The lease keeps blocking its historical window for later pinned-arrival
+// placements until the arrival watermark passes it.
 func (s *Scheduler) Release(l Lease) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range s.active {
 		if s.active[i].id == l.id {
-			s.active = append(s.active[:i], s.active[i+1:]...)
+			s.active[i].released = true
 			break
 		}
 	}
 	s.vfront = num.Max64(s.vfront, l.End)
-	s.metrics.Set("serve.leases_active", float64(len(s.active)))
+	s.pruneLocked()
+	s.metrics.Set("serve.leases_active", float64(s.inFlightLocked()))
 	s.metrics.Set("serve.virtual_frontier_cycles", float64(s.vfront))
 }
 
-// Cancel retires a lease without advancing the frontier (a placement that
-// was abandoned, e.g. a virtual-deadline violation, never completed work).
+// Cancel retires a lease without advancing the frontier or retaining its
+// window (a placement that was abandoned, e.g. a virtual-deadline
+// violation, never occupied the machine).
 func (s *Scheduler) Cancel(l Lease) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -198,5 +284,5 @@ func (s *Scheduler) Cancel(l Lease) {
 			break
 		}
 	}
-	s.metrics.Set("serve.leases_active", float64(len(s.active)))
+	s.metrics.Set("serve.leases_active", float64(s.inFlightLocked()))
 }

@@ -10,16 +10,21 @@
 //
 //   - A typed request path: InferRequest/InferResponse, a bounded
 //     admission queue with a configurable backpressure policy (block,
-//     reject, or shed-oldest), per-request wall-clock deadlines honored
-//     via context, virtual-cycle deadlines enforced at placement, and
-//     graceful drain on shutdown.
+//     reject, or shed-oldest — the shed choice prefers canceled
+//     requests, then the request most likely to miss its deadline),
+//     per-request wall-clock deadlines honored via context,
+//     virtual-cycle deadlines enforced at placement, per-model latency
+//     SLO classes (gold/silver/bronze ladders over the solo latency)
+//     with soft-miss accounting, and graceful drain on shutdown.
 //
 //   - A resource Scheduler that models the machine as lease-able GPU- and
 //     PIM-channel groups and multiplexes concurrent requests over them in
 //     virtual time: requests whose compiled plans use disjoint channel
 //     groups overlap, contending requests queue behind earlier leases,
-//     and a simple batcher coalesces same-model requests up to a batch
-//     window before they take one shared lease.
+//     and a continuous batcher (one dispatcher goroutine, per-model
+//     max-batch plus wall- and virtual-time windows) coalesces
+//     same-model requests into one shared lease. Draining flushes open
+//     windows immediately, so shutdown never waits out a batch window.
 //
 //   - An HTTP JSON API (Server.Handler: /v1/models, /v1/models/{name},
 //     /v1/models/{name}/infer, /healthz, /metrics) wired through

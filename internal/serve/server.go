@@ -26,14 +26,21 @@ type Config struct {
 	// Workers bound host-side concurrency; simulated-time concurrency is
 	// bounded by the machine's channel groups.
 	Workers int
-	// MaxBatch is the largest same-model coalesced batch (default 1, no
-	// batching).
+	// MaxBatch is the default largest same-model coalesced batch
+	// (default 1, no batching); ModelSpec.MaxBatch overrides per model.
 	MaxBatch int
-	// BatchWindow is the extra wall-clock time a worker waits for
-	// same-model requests to coalesce after it picked up a request with
-	// batching enabled and spare batch slots (default 0: only coalesce
-	// requests already queued).
+	// BatchWindow is the default wall-clock coalescing window: after the
+	// first request opens a batch the dispatcher holds it open this long
+	// for same-model arrivals (default 0: coalesce only requests already
+	// queued). ModelSpec.BatchWindowMillis overrides per model.
 	BatchWindow time.Duration
+	// BatchWindowCycles is the default virtual-time coalescing window for
+	// pinned-arrival (trace replay) traffic; ModelSpec.BatchWindowCycles
+	// overrides per model.
+	BatchWindowCycles int64
+	// SLOClasses is the latency-SLO ladder model specs name into
+	// (default DefaultSLOClasses).
+	SLOClasses []SLOClass
 	// Profiles optionally shares a profile store with other components;
 	// nil gets a private one.
 	Profiles *profcache.Store
@@ -59,10 +66,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 1
 	}
+	if c.SLOClasses == nil {
+		c.SLOClasses = DefaultSLOClasses()
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewMetrics()
 	}
 	return c
+}
+
+// servingDefaults projects the config's per-model defaults for the
+// registry's policy resolution.
+func (c Config) servingDefaults() ServingDefaults {
+	return ServingDefaults{
+		MaxBatch:          c.MaxBatch,
+		BatchWindow:       c.BatchWindow,
+		BatchWindowCycles: c.BatchWindowCycles,
+		SLOClasses:        c.SLOClasses,
+	}
 }
 
 // InferRequest is one typed inference request.
@@ -75,6 +96,11 @@ type InferRequest struct {
 	// executing (admission control in simulated time). Wall-clock
 	// deadlines travel on the context instead.
 	DeadlineCycles int64 `json:"deadlineCycles,omitempty"`
+	// ArrivalCycle, when positive, pins the request's virtual arrival
+	// stamp (trace replay); zero stamps it from the completion frontier
+	// at placement. Pinned arrivals must be nondecreasing across requests
+	// (see Scheduler).
+	ArrivalCycle int64 `json:"arrivalCycle,omitempty"`
 }
 
 // InferResponse reports one served inference on the shared virtual
@@ -95,18 +121,24 @@ type InferResponse struct {
 	// BatchSize and BatchIndex locate the request in its coalesced batch.
 	BatchSize  int `json:"batchSize"`
 	BatchIndex int `json:"batchIndex"`
+	// SLOClass is the model's latency class; SLOMiss reports a completion
+	// past the class target (soft: the request still served).
+	SLOClass string `json:"sloClass,omitempty"`
+	SLOMiss  bool   `json:"sloMiss,omitempty"`
 	// GPUBusy and PIMBusy echo the executed schedule's busy cycles.
 	GPUBusy int64 `json:"gpuBusyCycles"`
 	PIMBusy int64 `json:"pimBusyCycles"`
 }
 
 // Server is the concurrent inference service: registry in front, bounded
-// admission queue, worker pool, and the virtual-time resource scheduler.
+// admission queue, continuous per-model batcher, worker pool, and the
+// virtual-time resource scheduler.
 type Server struct {
 	cfg      Config
 	registry *Registry
 	queue    *queue
 	sched    *Scheduler
+	batches  chan []*item
 
 	mu       sync.Mutex
 	draining bool
@@ -115,8 +147,8 @@ type Server struct {
 	started time.Time
 }
 
-// NewServer builds and starts a server (its worker pool runs until
-// Shutdown).
+// NewServer builds and starts a server (its dispatcher and worker pool
+// run until Shutdown).
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Machine.Validate(); err != nil {
@@ -127,11 +159,14 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
-		registry: NewRegistry(cfg.Machine, cfg.Profiles, cfg.Metrics, cfg.Trace),
+		registry: NewRegistry(cfg.Machine, cfg.Profiles, cfg.Metrics, cfg.Trace, cfg.servingDefaults()),
 		queue:    newQueue(cfg.QueueDepth, cfg.Admission, cfg.Metrics),
 		sched:    NewScheduler(cfg.Machine, cfg.Metrics),
+		batches:  make(chan []*item, 2*cfg.Workers),
 		started:  time.Now(),
 	}
+	s.wg.Add(1)
+	go s.dispatcher()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -156,47 +191,161 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
-// Infer submits one request and waits for its completion or the context's
-// end. The context carries the wall-clock deadline; req.DeadlineCycles
-// carries the virtual one.
-func (s *Server) Infer(ctx context.Context, req InferRequest) (*InferResponse, error) {
+// Pending is one submitted, not-yet-completed request.
+type Pending struct {
+	s   *Server
+	it  *item
+	end func(map[string]any)
+}
+
+// Submit admits one request into the serving pipeline and returns a
+// handle to wait on. Admission errors (unknown model, full queue, shed,
+// draining) are returned immediately.
+func (s *Server) Submit(ctx context.Context, req InferRequest) (*Pending, error) {
 	s.cfg.Metrics.Inc("serve.requests")
 	if s.Draining() {
 		s.cfg.Metrics.Inc("serve.errors.draining")
 		return nil, ErrDraining
 	}
-	// Fail unknown models before they occupy queue space.
-	if _, err := s.registry.Get(req.Model); err != nil {
+	// Fail unknown models before they occupy queue space; the lookup also
+	// stamps the shed-policy inputs (service estimate and SLO deadline).
+	lm, err := s.registry.Get(req.Model)
+	if err != nil {
 		s.cfg.Metrics.Inc("serve.errors.not_loaded")
 		return nil, err
 	}
 	end := s.cfg.Trace.Span("serve-req", req.Model, "serve.request", map[string]any{"model": req.Model})
-	it := &item{req: req, ctx: ctx, reply: make(chan result, 1), enqueued: time.Now()}
+	it := &item{
+		req:      req,
+		ctx:      ctx,
+		reply:    make(chan result, 1),
+		enqueued: time.Now(),
+		service:  lm.Solo.DurationCycles(),
+		slo:      effectiveDeadline(req.DeadlineCycles, lm.SLOTarget),
+		arrival:  req.ArrivalCycle,
+	}
 	if err := s.queue.push(it); err != nil {
 		end(map[string]any{"error": err.Error()})
+		s.countError(err)
 		return nil, err
 	}
+	return &Pending{s: s, it: it, end: end}, nil
+}
+
+// effectiveDeadline combines an explicit virtual deadline with the SLO
+// target: the tighter positive one wins.
+func effectiveDeadline(explicit, slo int64) int64 {
+	switch {
+	case explicit > 0 && slo > 0:
+		if explicit < slo {
+			return explicit
+		}
+		return slo
+	case explicit > 0:
+		return explicit
+	default:
+		return slo
+	}
+}
+
+// Wait blocks for the request's completion or the context's end.
+func (p *Pending) Wait(ctx context.Context) (*InferResponse, error) {
 	select {
-	case res := <-it.reply:
+	case res := <-p.it.reply:
 		if res.err != nil {
-			end(map[string]any{"error": res.err.Error()})
-			s.countError(res.err)
+			p.end(map[string]any{"error": res.err.Error()})
+			p.s.countError(res.err)
 			return nil, res.err
 		}
-		end(map[string]any{
+		p.end(map[string]any{
 			"latencyCycles": res.resp.LatencyCycles,
 			"queueCycles":   res.resp.QueueCycles,
 			"batchSize":     res.resp.BatchSize,
 		})
-		s.cfg.Metrics.Inc("serve.responses")
+		p.s.cfg.Metrics.Inc("serve.responses")
 		return res.resp, nil
 	case <-ctx.Done():
 		// The worker may still pick the item up; its reply lands in the
 		// buffered channel and is dropped.
-		end(map[string]any{"error": ctx.Err().Error()})
-		s.cfg.Metrics.Inc("serve.errors.context")
+		p.end(map[string]any{"error": ctx.Err().Error()})
+		p.s.cfg.Metrics.Inc("serve.errors.context")
 		return nil, ctx.Err()
 	}
+}
+
+// Infer submits one request and waits for its completion or the context's
+// end. The context carries the wall-clock deadline; req.DeadlineCycles
+// carries the virtual one.
+func (s *Server) Infer(ctx context.Context, req InferRequest) (*InferResponse, error) {
+	p, err := s.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait(ctx)
+}
+
+// BatchOptions parameterizes InferBatch.
+type BatchOptions struct {
+	// Execute runs the compiled plan at the placed virtual offset (the
+	// live-path behavior, feeding the shared trace). When false the
+	// response's busy cycles echo the warm solo report instead; latency
+	// numbers are identical either way — they are lease arithmetic — and
+	// replaying millions of requests turns execution off.
+	Execute bool
+}
+
+// InferOutcome is one request's result from InferBatch.
+type InferOutcome struct {
+	Resp *InferResponse
+	Err  error
+}
+
+// InferBatch serves a pre-formed same-model batch synchronously on the
+// caller's goroutine, bypassing the admission queue and the dispatcher:
+// the trace-replay harness forms batches deterministically in virtual
+// time and calls this for each one. Placement, virtual-deadline
+// enforcement, SLO accounting, and metrics are exactly the live path's.
+func (s *Server) InferBatch(ctx context.Context, reqs []InferRequest, opts BatchOptions) ([]InferOutcome, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serve: empty batch")
+	}
+	for _, r := range reqs[1:] {
+		if r.Model != reqs[0].Model {
+			return nil, fmt.Errorf("serve: mixed-model batch (%q vs %q)", reqs[0].Model, r.Model)
+		}
+	}
+	if s.Draining() {
+		return nil, ErrDraining
+	}
+	lm, err := s.registry.Get(reqs[0].Model)
+	if err != nil {
+		return nil, err
+	}
+	s.cfg.Metrics.Add("serve.requests", int64(len(reqs)))
+	items := make([]*item, len(reqs))
+	for i, r := range reqs {
+		items[i] = &item{
+			req:      r,
+			ctx:      ctx,
+			reply:    make(chan result, 1),
+			enqueued: time.Now(),
+			service:  lm.Solo.DurationCycles(),
+			slo:      effectiveDeadline(r.DeadlineCycles, lm.SLOTarget),
+			arrival:  r.ArrivalCycle,
+		}
+	}
+	s.process(items, opts.Execute)
+	out := make([]InferOutcome, len(items))
+	for i, it := range items {
+		res := <-it.reply
+		out[i] = InferOutcome{Resp: res.resp, Err: res.err}
+		if res.err != nil {
+			s.countError(res.err)
+		} else {
+			s.cfg.Metrics.Inc("serve.responses")
+		}
+	}
+	return out, nil
 }
 
 // countError folds an error into the metrics registry by kind.
@@ -206,6 +355,8 @@ func (s *Server) countError(err error) {
 		s.cfg.Metrics.Inc("serve.errors.shed")
 	case errors.Is(err, ErrDeadlineViolation):
 		s.cfg.Metrics.Inc("serve.deadline_violations")
+	case errors.Is(err, ErrQueueFull):
+		s.cfg.Metrics.Inc("serve.errors.queue_full")
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		s.cfg.Metrics.Inc("serve.errors.context")
 	default:
@@ -214,8 +365,9 @@ func (s *Server) countError(err error) {
 }
 
 // Shutdown drains the server gracefully: new requests fail with
-// ErrDraining, queued requests finish, workers exit. It returns the
-// context's error if draining outlives it.
+// ErrDraining, queued requests finish (open batch windows flush
+// immediately — the window never extends the drain), workers exit. It
+// returns the context's error if draining outlives it.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.draining
@@ -240,43 +392,48 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker processes queued requests until the queue closes and drains.
+// worker executes flushed batches until the dispatcher closes the stream.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for {
-		it, ok := s.queue.pop()
-		if !ok {
-			return
-		}
-		s.process(it)
+	for batch := range s.batches {
+		s.process(batch, true)
 	}
 }
 
-// process serves one queue head: coalesce a same-model batch, place a
-// lease on the virtual timeline, execute the compiled plan at the placed
-// offset, and complete every batch member.
-func (s *Server) process(head *item) {
-	if err := head.ctx.Err(); err != nil {
-		head.finish(nil, err)
-		return
-	}
-	lm, err := s.registry.Get(head.req.Model)
-	if err != nil {
-		head.finish(nil, err)
-		return
-	}
-
-	batch := []*item{head}
-	if s.cfg.MaxBatch > 1 {
-		batch = append(batch, s.queue.popSameModel(head.req.Model, s.cfg.MaxBatch-1)...)
-		if s.cfg.BatchWindow > 0 && len(batch) < s.cfg.MaxBatch {
-			time.Sleep(s.cfg.BatchWindow)
-			batch = append(batch, s.queue.popSameModel(head.req.Model, s.cfg.MaxBatch-len(batch))...)
+// process serves one same-model batch: place a lease on the virtual
+// timeline, execute the compiled plan at the placed offset, and complete
+// every batch member. Each member carries its own virtual arrival stamp
+// (pinned by trace replay, or the completion frontier for live traffic);
+// the lease starts no earlier than the latest member's arrival.
+func (s *Server) process(batch []*item, execute bool) {
+	live := batch[:0]
+	for _, it := range batch {
+		if err := it.ctx.Err(); err != nil {
+			it.finish(nil, err)
+			continue
 		}
+		live = append(live, it)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
+	lm, err := s.registry.Get(batch[0].req.Model)
+	if err != nil {
+		for _, it := range batch {
+			it.finish(nil, err)
+		}
+		return
 	}
 	s.cfg.Metrics.Observe("serve.batch_size", float64(len(batch)))
 
-	arrival := s.sched.Arrival()
+	frontier := s.sched.Arrival()
+	arrivalOf := func(it *item) int64 {
+		if it.arrival > 0 {
+			return it.arrival
+		}
+		return frontier
+	}
 	solo := lm.Solo.DurationCycles()
 
 	// Place the batch, dropping virtual-deadline violators and canceled
@@ -296,6 +453,12 @@ func (s *Server) process(head *item) {
 		if len(batch) == 0 {
 			return
 		}
+		arrival := arrivalOf(batch[0])
+		for _, it := range batch[1:] {
+			if a := arrivalOf(it); a > arrival {
+				arrival = a
+			}
+		}
 		dur := solo + lm.InitInterval*int64(len(batch)-1)
 		lease, err = s.sched.Place(arrival, lm.Demand, dur)
 		if err != nil {
@@ -307,9 +470,9 @@ func (s *Server) process(head *item) {
 		kept := batch[:0]
 		for i, it := range batch {
 			endCycle := lease.Start + solo + lm.InitInterval*int64(i)
-			if d := it.req.DeadlineCycles; d > 0 && endCycle-arrival > d {
+			if d := it.req.DeadlineCycles; d > 0 && endCycle-arrivalOf(it) > d {
 				it.finish(nil, fmt.Errorf("%w: completion %d cycles after arrival exceeds deadline %d",
-					ErrDeadlineViolation, endCycle-arrival, d))
+					ErrDeadlineViolation, endCycle-arrivalOf(it), d))
 				continue
 			}
 			kept = append(kept, it)
@@ -326,17 +489,23 @@ func (s *Server) process(head *item) {
 
 	// Execute the precompiled plan at the placed virtual offset. The
 	// report lands on the shared timeline (and the shared trace, when
-	// configured); profile-store hits make warm executions cheap.
-	rep, err := runtime.ExecuteAt(lm.Graph, s.runtimeConfig(lm), lease.Start)
-	if err != nil {
-		s.sched.Cancel(lease)
-		for _, it := range batch {
-			it.finish(nil, fmt.Errorf("serve: execute %q: %w", lm.Spec.Name, err))
+	// configured); profile-store hits make warm executions cheap. The
+	// replay harness skips re-execution: the schedule is already
+	// profiled, and latency is lease arithmetic either way.
+	rep := lm.Solo
+	if execute {
+		rep, err = runtime.ExecuteAt(lm.Graph, s.runtimeConfig(lm), lease.Start)
+		if err != nil {
+			s.sched.Cancel(lease)
+			for _, it := range batch {
+				it.finish(nil, fmt.Errorf("serve: execute %q: %w", lm.Spec.Name, err))
+			}
+			return
 		}
-		return
 	}
 
 	for i, it := range batch {
+		arrival := arrivalOf(it)
 		endCycle := lease.Start + solo + lm.InitInterval*int64(i)
 		resp := &InferResponse{
 			Model:         lm.Spec.Name,
@@ -348,8 +517,14 @@ func (s *Server) process(head *item) {
 			LatencyMillis: float64(endCycle-arrival) / (lm.rt.GPU.ClockGHz * 1e9) * 1e3,
 			BatchSize:     len(batch),
 			BatchIndex:    i,
+			SLOClass:      lm.SLO.Name,
 			GPUBusy:       rep.GPUBusy,
 			PIMBusy:       rep.PIMBusy,
+		}
+		if lm.SLOTarget > 0 && resp.LatencyCycles > lm.SLOTarget {
+			resp.SLOMiss = true
+			s.cfg.Metrics.Inc("serve.slo_miss")
+			s.cfg.Metrics.Inc("serve.slo_miss." + lm.SLO.Name)
 		}
 		s.cfg.Metrics.Observe("serve.latency_cycles", float64(resp.LatencyCycles))
 		s.cfg.Metrics.Observe("serve.queue_cycles", float64(resp.QueueCycles))
@@ -359,7 +534,7 @@ func (s *Server) process(head *item) {
 	if obs.Enabled(slog.LevelDebug) {
 		obs.L().Debug("serve: batch served",
 			"model", lm.Spec.Name, "batch", len(batch),
-			"start", lease.Start, "end", lease.End, "queueCycles", lease.Start-arrival)
+			"start", lease.Start, "end", lease.End)
 	}
 }
 
