@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt lint verify-models fuzz bench bench-scenarios report cover ci
+.PHONY: build test race vet fmt lint verify-models fuzz bench bench-scenarios bench-compare report cover ci
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ fuzz:
 # benchmarks. Results are merged into $(BENCH_JSON) under $(BENCH_LABEL)
 # (machine-readable ns/op, B/op, allocs/op) by cmd/pimflow-bench; the
 # raw go test output still streams through to the terminal.
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR7.json
 BENCH_LABEL ?= after
 
 bench:
@@ -47,9 +47,21 @@ bench:
 		$(GO) run ./cmd/pimflow-bench -label $(BENCH_LABEL) -out $(BENCH_JSON)
 
 # Trace-driven serving scenarios (Poisson / diurnal / bursty) replayed
-# deterministically; results merge into the same snapshot file.
+# deterministically; results (including attributed per-stage percentile
+# splits) merge into the same snapshot file.
 bench-scenarios:
 	$(GO) run ./cmd/pimflow-bench -label $(BENCH_LABEL) -out $(BENCH_JSON) -scenario all
+
+# Regression gate: replay the Poisson scenario now and compare its
+# deterministic virtual-time metrics against the committed baseline
+# (exactly what CI runs). Exits nonzero on >10% regressions.
+BENCH_BASELINE ?= BENCH_PR7.json
+
+bench-compare:
+	$(GO) run ./cmd/pimflow-bench -label compare-run -out /tmp/pimflow_bench_compare.json -scenario poisson
+	$(GO) run ./cmd/pimflow-bench -compare -baseline-label $(BENCH_LABEL) -label compare-run \
+		-metrics p50_simcycles,p99_simcycles,p999_simcycles,served,shed,makespan_cycles,p99_batch_window_cycles,p99_lease_wait_cycles,p99_execute_cycles \
+		$(BENCH_BASELINE) /tmp/pimflow_bench_compare.json
 
 # Regenerate the paper-evaluation report (must stay byte-identical to the
 # committed experiments_report.txt regardless of profile-cache warmth).

@@ -12,10 +12,17 @@
 // With -scenario, the command instead drives the trace-driven load
 // harness directly (no stdin): it replays the named builtin scenarios
 // (comma-separated, or "all") through a fresh server and merges each
-// replay's throughput and simulated-latency percentiles into the same
-// snapshot file as a pseudo-benchmark entry:
+// replay's throughput, simulated-latency percentiles, and attributed
+// per-stage percentile splits into the same snapshot file as a
+// pseudo-benchmark entry; -trace additionally writes a Chrome trace with
+// one lane per in-flight request:
 //
-//	pimflow-bench -scenario bursty -out BENCH_PR6.json
+//	pimflow-bench -scenario poisson -trace poisson.trace.json -out BENCH_PR7.json
+//
+// With -compare, the command diffs two snapshot files and exits nonzero
+// when a metric regressed beyond -threshold (CI gating):
+//
+//	pimflow-bench -compare -metrics p99_simcycles,served BENCH_PR6.json BENCH_PR7.json
 package main
 
 import (
@@ -25,10 +32,12 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
 	"pimflow/internal/load"
+	"pimflow/internal/obs"
 )
 
 // Result is one benchmark measurement. Custom metrics reported with
@@ -109,14 +118,23 @@ func saveSnapshot(out string, results map[string]map[string]Result) error {
 
 // runScenarios replays builtin load scenarios and records each replay
 // as a pseudo-benchmark entry ("Scenario/<name>"): ns/op is the
-// wall-clock replay time, everything else lands in Extra.
-func runScenarios(label, out, names string) error {
+// wall-clock replay time, everything else lands in Extra — including the
+// attributed stage split of the p50/p99/p999 requests, whose
+// <q>_*_cycles extras sum to <q>_simcycles exactly. With tracePath the
+// replays share one Chrome trace (request lanes + GPU/PIM timeline,
+// execution forced on) written at the end.
+func runScenarios(label, out, names, tracePath string) error {
 	if names == "all" {
 		names = "poisson,diurnal,bursty"
 	}
 	results, section, err := loadSection(label, out)
 	if err != nil {
 		return err
+	}
+	opts := load.RunOptions{RequestLog: 512}
+	if tracePath != "" {
+		opts.Trace = obs.NewTrace()
+		opts.Execute = true
 	}
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
@@ -127,32 +145,185 @@ func runScenarios(label, out, names string) error {
 		if err != nil {
 			return err
 		}
-		rep, err := load.Run(sc)
+		rep, err := load.RunWithOptions(sc, opts)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", name, err)
 		}
-		section["Scenario/"+name] = Result{
-			NsPerOp: rep.WallSeconds * 1e9,
-			Extra: map[string]float64{
-				"req/s":           rep.ReqPerSec,
-				"requests":        float64(rep.Requests),
-				"served":          float64(rep.Served),
-				"shed":            float64(rep.Shed),
-				"slo_miss":        float64(rep.SLOMiss),
-				"p50_simcycles":   float64(rep.P50),
-				"p99_simcycles":   float64(rep.P99),
-				"p999_simcycles":  float64(rep.P999),
-				"mean_batch":      rep.MeanBatch,
-				"makespan_cycles": float64(rep.MakespanCycles),
-			},
+		extra := map[string]float64{
+			"req/s":           rep.ReqPerSec,
+			"requests":        float64(rep.Requests),
+			"served":          float64(rep.Served),
+			"shed":            float64(rep.Shed),
+			"slo_miss":        float64(rep.SLOMiss),
+			"p50_simcycles":   float64(rep.P50),
+			"p99_simcycles":   float64(rep.P99),
+			"p999_simcycles":  float64(rep.P999),
+			"mean_batch":      rep.MeanBatch,
+			"makespan_cycles": float64(rep.MakespanCycles),
 		}
+		if at := rep.Attributed; at != nil {
+			for q, a := range map[string]load.AttributedRequest{"p50": at.P50, "p99": at.P99, "p999": at.P999} {
+				extra[q+"_queue_cycles"] = float64(a.Stages.Queue)
+				extra[q+"_batch_window_cycles"] = float64(a.Stages.BatchWait)
+				extra[q+"_lease_wait_cycles"] = float64(a.Stages.LeaseWait)
+				extra[q+"_execute_cycles"] = float64(a.Stages.Execute)
+			}
+		}
+		section["Scenario/"+name] = Result{NsPerOp: rep.WallSeconds * 1e9, Extra: extra}
 		fmt.Printf("scenario %-8s served %5d shed %5d slo_miss %5d p50 %d p99 %d p999 %d cycles (%.0f req/s)\n",
 			name, rep.Served, rep.Shed, rep.SLOMiss, rep.P50, rep.P99, rep.P999, rep.ReqPerSec)
+		if at := rep.Attributed; at != nil {
+			fmt.Printf("  p99 split: batch_window %d + lease_wait %d + execute %d = %d cycles\n",
+				at.P99.Stages.BatchWait, at.P99.Stages.LeaseWait, at.P99.Stages.Execute, at.P99.LatencyCycles)
+		}
 	}
 	if err := saveSnapshot(out, results); err != nil {
 		return err
 	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := opts.Trace.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pimflow-bench: wrote Chrome trace to %s\n", tracePath)
+	}
 	fmt.Fprintf(os.Stderr, "pimflow-bench: recorded scenarios under %q in %s\n", label, out)
+	return nil
+}
+
+// higherBetter classifies a metric's direction: throughputs and served
+// counts regress downward, everything else (latencies, cycles, allocs)
+// regresses upward.
+func higherBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s") || unit == "served" || unit == "requests"
+}
+
+// metricFilter parses the -metrics flag: comma-separated entries, each a
+// bare unit ("p99_simcycles", applying to every benchmark) or a
+// qualified "Benchmark:unit" pair. Empty matches everything.
+type metricFilter map[string]bool
+
+func parseMetricFilter(s string) metricFilter {
+	if s == "" {
+		return nil
+	}
+	f := metricFilter{}
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			f[e] = true
+		}
+	}
+	return f
+}
+
+func (f metricFilter) match(bench, unit string) bool {
+	return f == nil || f[unit] || f[bench+":"+unit]
+}
+
+// metricsOf flattens a Result into unit -> value.
+func metricsOf(r Result) map[string]float64 {
+	m := map[string]float64{"ns/op": r.NsPerOp}
+	if r.BytesPerOp > 0 {
+		m["B/op"] = float64(r.BytesPerOp)
+	}
+	if r.AllocsPerOp > 0 {
+		m["allocs/op"] = float64(r.AllocsPerOp)
+	}
+	for unit, v := range r.Extra {
+		m[unit] = v
+	}
+	return m
+}
+
+// compare diffs two snapshot files and fails on any metric that
+// regressed by more than threshold (fractional; 0.10 = 10%). Only
+// benchmarks present in both sections are compared, and only metrics
+// the filter admits.
+func compare(beforePath, afterPath, beforeLabel, afterLabel string, filter metricFilter, threshold float64) error {
+	loadFile := func(path, label string) (map[string]Result, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var doc map[string]map[string]Result
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		section, ok := doc[label]
+		if !ok {
+			var labels []string
+			for l := range doc {
+				labels = append(labels, l)
+			}
+			sort.Strings(labels)
+			return nil, fmt.Errorf("%s has no section %q (have %v)", path, label, labels)
+		}
+		return section, nil
+	}
+	before, err := loadFile(beforePath, beforeLabel)
+	if err != nil {
+		return err
+	}
+	after, err := loadFile(afterPath, afterLabel)
+	if err != nil {
+		return err
+	}
+
+	var names []string
+	for name := range before {
+		if _, ok := after[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s[%s] and %s[%s]", beforePath, beforeLabel, afterPath, afterLabel)
+	}
+
+	compared, regressions := 0, 0
+	for _, name := range names {
+		bm, am := metricsOf(before[name]), metricsOf(after[name])
+		var units []string
+		for unit := range bm {
+			if _, ok := am[unit]; ok && filter.match(name, unit) {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			b, a := bm[unit], am[unit]
+			if b == 0 {
+				continue // no baseline to regress against
+			}
+			compared++
+			delta := (a - b) / b
+			bad := delta > threshold
+			if higherBetter(unit) {
+				bad = delta < -threshold
+			}
+			marker := ""
+			if bad {
+				marker = "  REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-40s %-24s %14.4g -> %14.4g  %+7.2f%%%s\n", name, unit, b, a, delta*100, marker)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pimflow-bench: compared %d metrics across %d benchmarks, %d regression(s) beyond %.0f%%\n",
+		compared, len(names), regressions, threshold*100)
+	if compared == 0 {
+		return fmt.Errorf("metric filter matched nothing")
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed by more than %.0f%%", regressions, threshold*100)
+	}
 	return nil
 }
 
@@ -188,14 +359,26 @@ func run(label, out string) error {
 }
 
 func main() {
-	label := flag.String("label", "after", "section of the JSON file to record results under")
-	out := flag.String("out", "BENCH_PR6.json", "JSON snapshot file to merge results into")
+	label := flag.String("label", "after", "section of the JSON file to record results under (compare: section read from the after file)")
+	out := flag.String("out", "BENCH_PR7.json", "JSON snapshot file to merge results into")
 	scenario := flag.String("scenario", "", "replay builtin load scenarios (comma-separated, or \"all\") instead of parsing go-test bench output")
+	tracePath := flag.String("trace", "", "with -scenario: write a Chrome trace (request lanes + GPU/PIM timeline) to this file")
+	doCompare := flag.Bool("compare", false, "compare two snapshot files (positional: before.json after.json); exit nonzero on regressions beyond -threshold")
+	baselineLabel := flag.String("baseline-label", "after", "with -compare: section read from the before file")
+	metrics := flag.String("metrics", "", "with -compare: restrict checks to these metrics (comma-separated units, optionally \"Benchmark:unit\"); empty checks everything")
+	threshold := flag.Float64("threshold", 0.10, "with -compare: fractional regression tolerance")
 	flag.Parse()
 	var err error
-	if *scenario != "" {
-		err = runScenarios(*label, *out, *scenario)
-	} else {
+	switch {
+	case *doCompare:
+		if flag.NArg() != 2 {
+			err = fmt.Errorf("-compare needs two positional files: before.json after.json")
+		} else {
+			err = compare(flag.Arg(0), flag.Arg(1), *baselineLabel, *label, parseMetricFilter(*metrics), *threshold)
+		}
+	case *scenario != "":
+		err = runScenarios(*label, *out, *scenario, *tracePath)
+	default:
 		err = run(*label, *out)
 	}
 	if err != nil {

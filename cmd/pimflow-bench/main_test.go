@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	name, r, ok := parseLine("BenchmarkFig13_ChannelRatio-8  \t1\t1815530219 ns/op\t5086341584 B/op\t 1075671 allocs/op")
@@ -40,5 +45,90 @@ func TestParseLine(t *testing.T) {
 		if _, _, ok := parseLine(line); ok {
 			t.Errorf("non-benchmark line parsed: %q", line)
 		}
+	}
+}
+
+func TestHigherBetter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"req/s": true, "served": true, "requests": true,
+		"ns/op": false, "p99_simcycles": false, "allocs/op": false, "shed": false,
+	} {
+		if got := higherBetter(unit); got != want {
+			t.Errorf("higherBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestMetricFilter(t *testing.T) {
+	f := parseMetricFilter("p99_simcycles, Scenario/poisson:served")
+	if !f.match("Scenario/bursty", "p99_simcycles") {
+		t.Error("bare unit should match every benchmark")
+	}
+	if !f.match("Scenario/poisson", "served") || f.match("Scenario/bursty", "served") {
+		t.Error("qualified entry should match only its benchmark")
+	}
+	var all metricFilter
+	if !all.match("x", "y") {
+		t.Error("nil filter should match everything")
+	}
+}
+
+func writeSnapshot(t *testing.T, path string, doc map[string]map[string]Result) {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	before, after := filepath.Join(dir, "before.json"), filepath.Join(dir, "after.json")
+	writeSnapshot(t, before, map[string]map[string]Result{"after": {
+		"Scenario/poisson": {NsPerOp: 100, Extra: map[string]float64{"p99_simcycles": 1000, "req/s": 50}},
+		"OnlyBefore":       {NsPerOp: 1},
+	}})
+
+	// Within tolerance: ok (ns/op noise excluded by the filter).
+	writeSnapshot(t, after, map[string]map[string]Result{"after": {
+		"Scenario/poisson": {NsPerOp: 500, Extra: map[string]float64{"p99_simcycles": 1050, "req/s": 48}},
+	}})
+	filter := parseMetricFilter("p99_simcycles,req/s")
+	if err := compare(before, after, "after", "after", filter, 0.10); err != nil {
+		t.Fatalf("within-tolerance compare failed: %v", err)
+	}
+
+	// Lower-better regression: p99 +20%.
+	writeSnapshot(t, after, map[string]map[string]Result{"after": {
+		"Scenario/poisson": {NsPerOp: 100, Extra: map[string]float64{"p99_simcycles": 1200, "req/s": 50}},
+	}})
+	if err := compare(before, after, "after", "after", filter, 0.10); err == nil {
+		t.Fatal("p99 regression not detected")
+	}
+
+	// Higher-better regression: throughput -20%.
+	writeSnapshot(t, after, map[string]map[string]Result{"after": {
+		"Scenario/poisson": {NsPerOp: 100, Extra: map[string]float64{"p99_simcycles": 1000, "req/s": 40}},
+	}})
+	if err := compare(before, after, "after", "after", filter, 0.10); err == nil {
+		t.Fatal("throughput regression not detected")
+	}
+	// A throughput *gain* of the same magnitude is fine.
+	writeSnapshot(t, after, map[string]map[string]Result{"after": {
+		"Scenario/poisson": {NsPerOp: 100, Extra: map[string]float64{"p99_simcycles": 1000, "req/s": 60}},
+	}})
+	if err := compare(before, after, "after", "after", filter, 0.10); err != nil {
+		t.Fatalf("throughput gain flagged: %v", err)
+	}
+
+	// Missing section and empty filter matches are errors.
+	if err := compare(before, after, "no-such-label", "after", nil, 0.10); err == nil {
+		t.Fatal("missing section not an error")
+	}
+	if err := compare(before, after, "after", "after", parseMetricFilter("no_such_metric"), 0.10); err == nil {
+		t.Fatal("empty metric match not an error")
 	}
 }

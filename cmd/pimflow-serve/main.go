@@ -3,8 +3,9 @@
 //
 //	pimflow-serve -addr :8080 -load mobilenet-v2,resnet-50 -policy PIMFlow
 //
-//	GET    /healthz                  liveness + drain state
-//	GET    /metrics                  Prometheus-style text dump
+//	GET    /healthz                  liveness + drain state + per-model latency breakdown
+//	GET    /metrics                  Prometheus-style text dump (JSON via Accept or /metrics.json)
+//	GET    /debug/requests           request-lifecycle ring (model/slo/outcome/n filters)
 //	GET    /v1/models                list loaded models
 //	POST   /v1/models/{name}         load a model (JSON ModelSpec body)
 //	DELETE /v1/models/{name}         unload a model
@@ -64,6 +65,8 @@ func main() {
 		batchCyc   = flag.Int64("batch_cycles", 0, "virtual-time batching window for pinned-arrival requests (cycles)")
 		sloClass   = flag.String("slo", "", "default latency class for preloads (gold, silver, bronze; empty: best-effort)")
 		profFile   = flag.String("profile-cache", "", "JSON profile-cache file: loaded at startup, saved at shutdown")
+		requestLog = flag.Int("request_log", 512, "request-lifecycle ring size for /debug/requests and stage histograms (0: tracking off)")
+		traceFile  = flag.String("trace", "", "Chrome trace file written at shutdown (request lanes + execution timeline)")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-drain budget at shutdown")
 		verbose    = flag.Bool("v", false, "info-level structured logs on stderr")
 		vverbose   = flag.Bool("vv", false, "debug-level structured logs on stderr")
@@ -77,7 +80,7 @@ func main() {
 	}
 	if err := run(*addr, *load, *policy, *channels, *pimCh, *machineGPU, *machinePIM,
 		*queueDepth, *admission, *workers, *maxBatch, *batchWin, *batchCyc, *sloClass,
-		*profFile, *drainWait); err != nil {
+		*profFile, *requestLog, *traceFile, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "pimflow-serve:", err)
 		os.Exit(1)
 	}
@@ -86,7 +89,7 @@ func main() {
 func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 	queueDepth int, admission string, workers, maxBatch int,
 	batchWin time.Duration, batchCyc int64, sloClass, profFile string,
-	drainWait time.Duration) error {
+	requestLog int, traceFile string, drainWait time.Duration) error {
 	adm, err := serve.ParseAdmissionPolicy(admission)
 	if err != nil {
 		return err
@@ -101,6 +104,10 @@ func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 			fmt.Printf("profile cache: loaded %d entries from %s\n", n, profFile)
 		}
 	}
+	var trace *obs.Trace
+	if traceFile != "" {
+		trace = obs.NewTrace()
+	}
 	srv, err := serve.NewServer(serve.Config{
 		Machine:           serve.Machine{GPUChannels: machineGPU, PIMChannels: machinePIM},
 		QueueDepth:        queueDepth,
@@ -110,6 +117,8 @@ func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 		BatchWindow:       batchWin,
 		BatchWindowCycles: batchCyc,
 		Profiles:          profiles,
+		RequestLog:        requestLog,
+		Trace:             trace,
 	})
 	if err != nil {
 		return err
@@ -163,6 +172,20 @@ func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 			return err
 		}
 		fmt.Printf("profile cache: %s; saved to %s\n", profiles.Stats(), profFile)
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events written to %s\n", trace.Len(), traceFile)
 	}
 	fmt.Println("drained cleanly")
 	return nil

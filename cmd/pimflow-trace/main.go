@@ -5,6 +5,14 @@
 //	pimflow-trace -m 196 -k 576 -n 160            a lowered conv GEMM
 //	pimflow-trace -m 1 -k 4096 -n 4096 -dump      batch-1 FC, full listing
 //	pimflow-trace -m 196 -k 576 -n 160 -newton    Newton+ feature set
+//
+// With -summary it instead reads back a Chrome trace file written by
+// this repo's tooling (pimflow-bench -trace, pimflow-serve -trace) and
+// prints per-stage/per-model cycle totals from the request lanes plus
+// device busy totals, so attributed traces are inspectable without a
+// browser:
+//
+//	pimflow-trace -summary poisson.trace.json
 package main
 
 import (
@@ -25,8 +33,22 @@ func main() {
 		channels = flag.Int("channels", 16, "PIM-enabled channels")
 		newton   = flag.Bool("newton", false, "use the baseline Newton feature set (1 buffer, no hiding, no strided GWRITE)")
 		dump     = flag.Bool("dump", false, "print the full per-channel command listing")
+		summary  = flag.String("summary", "", "summarize a Chrome trace file (per-stage/per-model cycle totals) instead of generating a command trace")
 	)
 	flag.Parse()
+	if *summary != "" {
+		f, err := os.Open(*summary)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow-trace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := summarize(f, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pimflow-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg := pim.DefaultConfig()
 	opts := codegen.DefaultOpts()
 	if *newton {

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pimflow/internal/obs"
+)
+
+// traceDoc is the subset of the Chrome trace-event document the summary
+// reads back; obs.Event's JSON tags make the round trip exact.
+type traceDoc struct {
+	TraceEvents []obs.Event    `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData"`
+}
+
+// cyclesOf converts an event duration (microseconds in the export, one
+// GPU cycle per nanosecond) back to cycles.
+func cyclesOf(durUS float64) int64 {
+	return int64(durUS*1e3 + 0.5)
+}
+
+// summarize reads a Chrome trace produced by this repo's tooling and
+// prints per-stage/per-model cycle totals from the request lanes plus
+// device busy totals from the simulated timeline, so attributed traces
+// are inspectable without a browser.
+func summarize(r io.Reader, w io.Writer) error {
+	var doc traceDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("parse trace: %w", err)
+	}
+
+	type stageAgg struct {
+		count  int64
+		cycles int64
+	}
+	var (
+		timeline  = map[string]*stageAgg{} // device/track name -> busy total
+		requests  = map[string]*stageAgg{} // model -> lane totals
+		stages    = map[string]map[string]*stageAgg{}
+		stageSeen = map[string]bool{}
+		threads   = map[[2]int]string{}
+		events    int
+	)
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "M" && e.Name == "thread_name" {
+			if name, ok := e.Args["name"].(string); ok {
+				threads[[2]int{e.PID, e.TID}] = name
+			}
+		}
+	}
+	add := func(m map[string]*stageAgg, key string, cycles int64) {
+		a := m[key]
+		if a == nil {
+			a = &stageAgg{}
+			m[key] = a
+		}
+		a.count++
+		a.cycles += cycles
+	}
+	modelOf := func(e obs.Event) string {
+		if m, ok := e.Args["model"].(string); ok && m != "" {
+			return m
+		}
+		// The lane span name is "<id> <model>" when args are absent.
+		if i := strings.LastIndexByte(e.Name, ' '); i >= 0 {
+			return e.Name[i+1:]
+		}
+		return e.Name
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" {
+			continue
+		}
+		events++
+		switch e.PID {
+		case obs.PIDTimeline:
+			track := threads[[2]int{e.PID, e.TID}]
+			if track == "" {
+				track = fmt.Sprintf("tid-%d", e.TID)
+			}
+			add(timeline, track, cyclesOf(e.Dur))
+		case obs.PIDRequests:
+			model := modelOf(e)
+			if strings.HasSuffix(e.Cat, ".stage") {
+				if stages[model] == nil {
+					stages[model] = map[string]*stageAgg{}
+				}
+				add(stages[model], e.Name, cyclesOf(e.Dur))
+				stageSeen[e.Name] = true
+			} else {
+				add(requests, model, cyclesOf(e.Dur))
+			}
+		}
+	}
+	if events == 0 {
+		return fmt.Errorf("trace holds no complete events")
+	}
+
+	sortedKeys := func(n int, iter func(yield func(string))) []string {
+		keys := make([]string, 0, n)
+		iter(func(k string) { keys = append(keys, k) })
+		sort.Strings(keys)
+		return keys
+	}
+
+	if len(requests) > 0 {
+		fmt.Fprintln(w, "request lanes (simulated cycles):")
+		stageCols := sortedKeys(len(stageSeen), func(y func(string)) {
+			for s := range stageSeen {
+				y(s)
+			}
+		})
+		for _, model := range sortedKeys(len(requests), func(y func(string)) {
+			for m := range requests {
+				y(m)
+			}
+		}) {
+			a := requests[model]
+			fmt.Fprintf(w, "  %-20s %6d requests  %12d total cycles  %10.0f mean\n",
+				model, a.count, a.cycles, float64(a.cycles)/float64(a.count))
+			for _, st := range stageCols {
+				sa := stages[model][st]
+				if sa == nil {
+					continue
+				}
+				fmt.Fprintf(w, "    %-18s %6d spans     %12d total cycles  %10.0f mean\n",
+					st, sa.count, sa.cycles, float64(sa.cycles)/float64(sa.count))
+			}
+		}
+	}
+	if len(timeline) > 0 {
+		fmt.Fprintln(w, "simulated timeline (busy cycles per track):")
+		for _, track := range sortedKeys(len(timeline), func(y func(string)) {
+			for tr := range timeline {
+				y(tr)
+			}
+		}) {
+			a := timeline[track]
+			fmt.Fprintf(w, "  %-20s %6d events    %12d busy cycles\n", track, a.count, a.cycles)
+		}
+	}
+	if len(requests) == 0 && len(timeline) == 0 {
+		fmt.Fprintln(w, "no request-lane or timeline events (wall-clock-only trace)")
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pimflow/internal/obs"
+)
+
+// A synthetic trace built with the obs collector round-trips through the
+// summary: per-model request totals, per-stage totals, device busy
+// totals, and the µs→cycles conversion.
+func TestSummarize(t *testing.T) {
+	tr := obs.NewTrace()
+	tr.SetProcessName(obs.PIDTimeline, "simulated timeline")
+	tr.SetThreadName(obs.PIDTimeline, obs.TIDGPU, "GPU")
+	tr.SetThreadName(obs.PIDTimeline, obs.TIDPIM, "PIM")
+	tr.CompleteCycles(obs.TIDGPU, "conv1", "Conv", 0, 4000, nil)
+	tr.CompleteCycles(obs.TIDPIM, "conv1_pim", "Conv", 0, 3000, nil)
+	tr.RequestLaneCycles("r000001 toy-gold", "serve.request", 1000, 5000, []obs.LaneStage{
+		{Name: "batch_window", Start: 1000, End: 2000},
+		{Name: "execute", Start: 2000, End: 5000},
+	}, map[string]any{"model": "toy-gold", "id": "r000001"})
+	tr.RequestLaneCycles("r000002 toy-gold", "serve.request", 6000, 8000, nil, nil)
+
+	var enc bytes.Buffer
+	if err := tr.WriteJSON(&enc); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := summarize(&enc, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"request lanes", "toy-gold", "2 requests", "6000 total cycles",
+		"batch_window", "1000 total cycles",
+		"execute", "3000 total cycles",
+		"simulated timeline", "GPU", "4000 busy cycles", "PIM",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("summary missing %q:\n%s", want, text)
+		}
+	}
+
+	// Not-a-trace input errors.
+	if err := summarize(strings.NewReader("not json"), &out); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+	if err := summarize(strings.NewReader(`{"traceEvents":[]}`), &out); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"pimflow/internal/obs"
 	"pimflow/internal/serve"
 )
 
@@ -294,5 +295,90 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if rep.Served == 0 || rep.ReqPerSec <= 0 {
 		t.Fatalf("run report: %+v", rep)
+	}
+}
+
+// The attribution contract: the attributed percentile splits sum to the
+// reported end-to-end percentiles exactly (they are the stage splits of
+// the requests at those ranks), the stage map covers the full pipeline,
+// and the whole breakdown — request IDs included — is deterministic
+// across replays of the same seeded scenario.
+func TestAttributedStageBreakdown(t *testing.T) {
+	sc := toyScenario(7, 2000, "poisson")
+	run := func() Report {
+		rep, err := RunWithOptions(sc, RunOptions{RequestLog: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stripWall(rep)
+	}
+	a := run()
+	if a.Served == 0 || a.Attributed == nil {
+		t.Fatalf("no attribution: %+v", a)
+	}
+	for _, tc := range []struct {
+		name string
+		at   AttributedRequest
+		e2e  int64
+	}{
+		{"p50", a.Attributed.P50, a.P50},
+		{"p99", a.Attributed.P99, a.P99},
+		{"p999", a.Attributed.P999, a.P999},
+	} {
+		if tc.at.LatencyCycles != tc.e2e {
+			t.Errorf("%s: attributed request latency %d != percentile %d", tc.name, tc.at.LatencyCycles, tc.e2e)
+		}
+		if got := tc.at.Stages.Total(); got != tc.e2e {
+			t.Errorf("%s: stages sum to %d, percentile %d", tc.name, got, tc.e2e)
+		}
+		if tc.at.RequestID == "" || tc.at.Model == "" {
+			t.Errorf("%s: attribution missing identity: %+v", tc.name, tc.at)
+		}
+	}
+	for _, st := range []string{"queue", "batch_window", "lease_wait", "execute"} {
+		if _, ok := a.Stages[st]; !ok {
+			t.Errorf("stage map missing %q: %v", st, a.Stages)
+		}
+	}
+	if a.Stages["execute"].P50 == 0 {
+		t.Errorf("execute stage p50 is zero: %+v", a.Stages["execute"])
+	}
+	if a.Stages["queue"].Max != 0 {
+		t.Errorf("virtual queue stage nonzero (admission is instantaneous in simulated time): %+v", a.Stages["queue"])
+	}
+	if b := run(); !reportsEqual(a, b) {
+		t.Fatalf("attributed breakdowns diverged across replays:\n%+v\n%+v", a.Attributed, b.Attributed)
+	}
+}
+
+// A replay with a shared trace and request logging must emit request
+// lanes spanning arrival to completion on the requests process.
+func TestReplayEmitsRequestLanes(t *testing.T) {
+	sc := toyScenario(3, 300, "poisson")
+	tr := obs.NewTrace()
+	rep, err := RunWithOptions(sc, RunOptions{Trace: tr, RequestLog: 64, Execute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served == 0 {
+		t.Fatalf("nothing served: %+v", rep)
+	}
+	var lanes, stages int
+	for _, e := range tr.Events() {
+		if e.PID != obs.PIDRequests || e.Phase != "X" {
+			continue
+		}
+		switch e.Cat {
+		case "serve.request":
+			lanes++
+		case "serve.request.stage":
+			stages++
+		}
+	}
+	if lanes != rep.Served {
+		t.Errorf("request lanes %d, served %d", lanes, rep.Served)
+	}
+	if stages == 0 {
+		t.Error("no stage slices on request lanes")
 	}
 }

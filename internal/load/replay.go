@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pimflow/internal/obs"
 	"pimflow/internal/serve"
 )
 
@@ -47,10 +48,67 @@ type Report struct {
 	MeanBatch      float64 `json:"meanBatch"`
 	MakespanCycles int64   `json:"makespanCycles"`
 
+	// Stages holds independent per-stage latency distributions across the
+	// served requests; Attributed holds the exact stage split of the
+	// requests at the p50/p99/p999 ranks, whose stages sum to the
+	// corresponding end-to-end percentile by construction.
+	Stages     map[string]StageStats `json:"stages,omitempty"`
+	Attributed *Attributed           `json:"attributed,omitempty"`
+
 	Classes map[string]ClassStats `json:"classes,omitempty"`
 
 	WallSeconds float64 `json:"wallSeconds"`
 	ReqPerSec   float64 `json:"reqPerSec"`
+}
+
+// StageStats is one pipeline stage's latency distribution over the
+// served requests (virtual cycles).
+type StageStats struct {
+	P50  int64   `json:"p50Cycles"`
+	P99  int64   `json:"p99Cycles"`
+	P999 int64   `json:"p999Cycles"`
+	Max  int64   `json:"maxCycles"`
+	Mean float64 `json:"meanCycles"`
+}
+
+// AttributedRequest is the stage decomposition of one concrete request:
+// the request whose end-to-end latency sits at a percentile rank. Its
+// stages partition LatencyCycles exactly, so "where did the p99 go" has
+// a sum-consistent answer (independent per-stage percentiles do not add
+// up — they belong to different requests).
+type AttributedRequest struct {
+	RequestID     string            `json:"requestId,omitempty"`
+	Model         string            `json:"model"`
+	LatencyCycles int64             `json:"latencyCycles"`
+	Stages        serve.StageCycles `json:"stages"`
+}
+
+// Attributed carries the stage splits at the standard percentile ranks.
+type Attributed struct {
+	P50  AttributedRequest `json:"p50"`
+	P99  AttributedRequest `json:"p99"`
+	P999 AttributedRequest `json:"p999"`
+}
+
+// latRec is one served request's latency plus its attribution payload.
+type latRec struct {
+	lat    int64
+	id     string
+	model  string
+	stages serve.StageCycles
+}
+
+func recOf(resp *serve.InferResponse) latRec {
+	return latRec{
+		lat:   resp.LatencyCycles,
+		id:    resp.RequestID,
+		model: resp.Model,
+		stages: serve.StageCycles{
+			BatchWait: resp.BatchWaitCycles,
+			LeaseWait: resp.LeaseWaitCycles,
+			Execute:   resp.ExecuteCycles,
+		},
+	}
 }
 
 // percentile returns the q-quantile of sorted latencies (nearest-rank).
@@ -162,7 +220,7 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 	var (
 		open     = map[string]*virtualBatch{} // per-model open batch
 		inFlight endHeap                      // completion cycles of placed work
-		lat      []int64                      // served latencies
+		lat      []latRec                     // served latencies + stage splits
 		classLat = map[string][]int64{}       // per-class latencies
 		batchSum int64
 		makespan int64
@@ -189,7 +247,7 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 			case o.Err == nil:
 				rep.Served++
 				batchSum += int64(o.Resp.BatchSize)
-				lat = append(lat, o.Resp.LatencyCycles)
+				lat = append(lat, recOf(o.Resp))
 				cls := o.Resp.SLOClass
 				classLat[cls] = append(classLat[cls], o.Resp.LatencyCycles)
 				cs := rep.Classes[cls]
@@ -346,6 +404,49 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 	return rep, nil
 }
 
+// attributedAt returns the stage split of the request at the q-quantile
+// rank of the sorted records (same nearest-rank convention as
+// percentile, so its LatencyCycles equals the reported percentile and
+// its stages sum to it exactly).
+func attributedAt(sorted []latRec, q float64) AttributedRequest {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	r := sorted[i]
+	return AttributedRequest{RequestID: r.id, Model: r.model, LatencyCycles: r.lat, Stages: r.stages}
+}
+
+// stageStats computes each stage's independent distribution.
+func stageStats(recs []latRec) map[string]StageStats {
+	cols := map[string][]int64{}
+	for _, r := range recs {
+		cols["queue"] = append(cols["queue"], r.stages.Queue)
+		cols["batch_window"] = append(cols["batch_window"], r.stages.BatchWait)
+		cols["lease_wait"] = append(cols["lease_wait"], r.stages.LeaseWait)
+		cols["execute"] = append(cols["execute"], r.stages.Execute)
+	}
+	out := make(map[string]StageStats, len(cols))
+	for name, vals := range cols {
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		out[name] = StageStats{
+			P50:  percentile(vals, 0.50),
+			P99:  percentile(vals, 0.99),
+			P999: percentile(vals, 0.999),
+			Max:  vals[len(vals)-1],
+			Mean: float64(sum) / float64(len(vals)),
+		}
+	}
+	return out
+}
+
 func headCycle(vb *virtualBatch) int64 {
 	if len(vb.items) == 0 {
 		return -1
@@ -353,13 +454,25 @@ func headCycle(vb *virtualBatch) int64 {
 	return vb.items[0].req.Cycle
 }
 
-// finishReport folds the collected latencies into percentiles.
-func finishReport(rep *Report, lat []int64, classLat map[string][]int64, batchSum, makespan int64) {
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+// finishReport folds the collected latencies into percentiles, the
+// per-stage distributions, and the attributed percentile splits.
+func finishReport(rep *Report, recs []latRec, classLat map[string][]int64, batchSum, makespan int64) {
+	// Ties break on request ID (deterministic in single-threaded replay),
+	// then stably on append order.
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].lat != recs[j].lat {
+			return recs[i].lat < recs[j].lat
+		}
+		return recs[i].id < recs[j].id
+	})
+	lat := make([]int64, len(recs))
+	for i, r := range recs {
+		lat[i] = r.lat
+	}
 	rep.P50 = percentile(lat, 0.50)
 	rep.P99 = percentile(lat, 0.99)
 	rep.P999 = percentile(lat, 0.999)
-	if n := len(lat); n > 0 {
+	if n := len(recs); n > 0 {
 		rep.MaxLatency = lat[n-1]
 		var sum int64
 		for _, l := range lat {
@@ -367,6 +480,12 @@ func finishReport(rep *Report, lat []int64, classLat map[string][]int64, batchSu
 		}
 		rep.MeanLatency = float64(sum) / float64(n)
 		rep.MeanBatch = float64(batchSum) / float64(n)
+		rep.Stages = stageStats(recs)
+		rep.Attributed = &Attributed{
+			P50:  attributedAt(recs, 0.50),
+			P99:  attributedAt(recs, 0.99),
+			P999: attributedAt(recs, 0.999),
+		}
 	}
 	rep.MakespanCycles = makespan
 	for cls, ls := range classLat {
@@ -397,7 +516,7 @@ func ReplayLive(srv *serve.Server, sc Scenario, reqs []Request, clients int) (*R
 	rep := &Report{Scenario: sc.Name, Requests: len(reqs), Classes: map[string]ClassStats{}}
 	var (
 		mu       sync.Mutex
-		lat      []int64
+		lat      []latRec
 		classLat = map[string][]int64{}
 		batchSum int64
 		makespan int64
@@ -435,7 +554,7 @@ func ReplayLive(srv *serve.Server, sc Scenario, reqs []Request, clients int) (*R
 					}
 					rep.Served++
 					batchSum += int64(resp.BatchSize)
-					lat = append(lat, resp.LatencyCycles)
+					lat = append(lat, recOf(resp))
 					classLat[resp.SLOClass] = append(classLat[resp.SLOClass], resp.LatencyCycles)
 					cs := rep.Classes[resp.SLOClass]
 					cs.Served++
@@ -478,12 +597,42 @@ func countLiveError(rep *Report, err error) {
 // models, generate the trace, replay it deterministically, and shut the
 // server down. The returned report is reproducible for a fixed scenario.
 func Run(sc Scenario) (*Report, error) {
+	return RunWithOptions(sc, RunOptions{})
+}
+
+// RunOptions extends Run with observability sinks.
+type RunOptions struct {
+	// Trace, when non-nil, collects the replay's simulated-timeline and
+	// request-lane events (request lanes require RequestLog > 0).
+	Trace *obs.Trace
+	// RequestLog sizes the server's lifecycle ring: requests get IDs
+	// (threaded into the report's attributed percentiles and the trace's
+	// request lanes). Zero keeps lifecycle tracking off.
+	RequestLog int
+	// Execute forces plan execution during the replay (so the trace
+	// carries the GPU/PIM timeline, not just lease arithmetic); the
+	// scenario's Execute flag turns it on too.
+	Execute bool
+}
+
+// RunWithOptions is Run with a shared trace and request-lifecycle
+// tracking. The report stays deterministic for a fixed scenario: IDs are
+// minted sequentially on the single replay goroutine.
+func RunWithOptions(sc Scenario, opts RunOptions) (*Report, error) {
 	sc = sc.withDefaults()
+	if opts.Execute {
+		sc.Execute = true
+	}
 	adm, err := serve.ParseAdmissionPolicy(sc.Admission)
 	if err != nil {
 		return nil, err
 	}
-	srv, err := serve.NewServer(serve.Config{QueueDepth: sc.QueueDepth, Admission: adm})
+	srv, err := serve.NewServer(serve.Config{
+		QueueDepth: sc.QueueDepth,
+		Admission:  adm,
+		Trace:      opts.Trace,
+		RequestLog: opts.RequestLog,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -81,10 +82,20 @@ type histData struct {
 	sum      float64
 	min, max float64
 	buckets  map[int]int64 // key: ceil(log2(v)); -1 holds v <= 0
+	// exemplars ties buckets back to concrete origins (request IDs): the
+	// most recent exemplar per bucket. nil until the first ObserveExemplar.
+	exemplars map[int]string
 }
 
 // Observe records one sample into the named histogram.
 func (m *Metrics) Observe(name string, v float64) {
+	m.ObserveExemplar(name, v, "")
+}
+
+// ObserveExemplar records one sample and, when exemplar is non-empty,
+// remembers it as the bucket's most recent exemplar — the handle (e.g. a
+// request ID) that ties a tail bucket back to a concrete cause.
+func (m *Metrics) ObserveExemplar(name string, v float64, exemplar string) {
 	if m == nil {
 		return
 	}
@@ -102,7 +113,14 @@ func (m *Metrics) Observe(name string, v float64) {
 	if v > h.max {
 		h.max = v
 	}
-	h.buckets[bucketOf(v)]++
+	b := bucketOf(v)
+	h.buckets[b]++
+	if exemplar != "" {
+		if h.exemplars == nil {
+			h.exemplars = map[int]string{}
+		}
+		h.exemplars[b] = exemplar
+	}
 	m.mu.Unlock()
 }
 
@@ -115,6 +133,58 @@ func bucketOf(v float64) int {
 	return int(math.Ceil(math.Log2(v)))
 }
 
+// bucketLabel renders a bucket index as its exported upper-bound label.
+func bucketLabel(b int) string {
+	if b < 0 {
+		return "<=0"
+	}
+	return fmt.Sprintf("<=2^%d", b)
+}
+
+// quantile estimates the q-quantile from the exponential buckets:
+// nearest-rank bucket selection, then linear interpolation by rank
+// fraction inside the winning bucket (2^(k-1), 2^k], clamped to the
+// observed min/max. Power-of-two buckets bound the estimation error to
+// one octave, which is enough to rank tail buckets and pick exemplars;
+// exact percentiles come from the replay harness, which keeps samples.
+func (h *histData) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum int64
+	for _, k := range keys {
+		n := h.buckets[k]
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		if k < 0 {
+			// Non-positive samples share one unbounded-below bucket; the
+			// observed min is the only honest point estimate.
+			return h.min
+		}
+		lo, hi := math.Exp2(float64(k-1)), math.Exp2(float64(k))
+		v := lo + (hi-lo)*float64(rank-cum)/float64(n)
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
 // HistogramSnapshot is an exported histogram state.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
@@ -122,8 +192,16 @@ type HistogramSnapshot struct {
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
+	// P50/P99/P999 are percentiles estimated from the bucket layout (see
+	// histData.quantile); they are bucket-resolution estimates, not exact.
+	P50  float64 `json:"p50,omitempty"`
+	P99  float64 `json:"p99,omitempty"`
+	P999 float64 `json:"p999,omitempty"`
 	// Buckets maps upper bounds ("<=2^k", or "<=0") to sample counts.
 	Buckets map[string]int64 `json:"buckets,omitempty"`
+	// Exemplars maps bucket upper bounds to the most recent exemplar
+	// recorded into that bucket (ObserveExemplar).
+	Exemplars map[string]string `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of the registry.
@@ -158,12 +236,17 @@ func (m *Metrics) Snapshot() Snapshot {
 		}
 		if h.count > 0 {
 			hs.Mean = h.sum / float64(h.count)
+			hs.P50 = h.quantile(0.50)
+			hs.P99 = h.quantile(0.99)
+			hs.P999 = h.quantile(0.999)
 		}
 		for b, n := range h.buckets {
-			if b < 0 {
-				hs.Buckets["<=0"] = n
-			} else {
-				hs.Buckets[fmt.Sprintf("<=2^%d", b)] = n
+			hs.Buckets[bucketLabel(b)] = n
+		}
+		if len(h.exemplars) > 0 {
+			hs.Exemplars = make(map[string]string, len(h.exemplars))
+			for b, ex := range h.exemplars {
+				hs.Exemplars[bucketLabel(b)] = ex
 			}
 		}
 		s.Histograms[k] = hs
@@ -171,10 +254,87 @@ func (m *Metrics) Snapshot() Snapshot {
 	return s
 }
 
+// LabeledKey canonicalizes a metric name plus label pairs into one
+// registry key: "name{k1=v1,k2=v2}". Instrumentation that labels a series
+// (per-model, per-stage, per-class) must build its keys through this
+// helper with the pairs in one fixed order, so identical series share one
+// key; WriteText renders the braces back into Prometheus-style labels.
+// Label values must not contain commas or braces.
+func LabeledKey(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	n := len(name) + 2
+	for _, s := range kv {
+		n += len(s) + 2
+	}
+	b.Grow(n)
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabeledKey splits a LabeledKey-style registry key into its base
+// name and label pairs; keys without a label block return nil pairs.
+func SplitLabeledKey(key string) (string, [][2]string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	base := key[:open]
+	var labels [][2]string
+	for _, part := range strings.Split(key[open+1:len(key)-1], ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return key, nil // not a labeled key after all
+		}
+		labels = append(labels, [2]string{k, v})
+	}
+	return base, labels
+}
+
+// labelBlock renders label pairs (plus optional extras) in Prometheus
+// form: `{k="v",...}`, or "" when there are none. Label names pass
+// through the metric-name sanitizer; values are quoted verbatim.
+func labelBlock(labels [][2]string, extra ...[2]string) string {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append(make([][2]string, 0, len(labels)+len(extra)), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strings.TrimPrefix(metricName(kv[0]), "pimflow_"))
+		b.WriteByte('=')
+		b.WriteString(fmt.Sprintf("%q", kv[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // WriteText dumps the registry in a Prometheus-style text exposition:
 // one `# TYPE` comment plus one `pimflow_<name> <value>` line per counter
-// and gauge, and count/sum/min/max/mean plus `_bucket{le="..."}` lines
-// per histogram. Metric names are sanitized to the usual [a-zA-Z0-9_:]
+// and gauge, and count/sum/min/max/mean/p50/p99/p999 plus
+// `_bucket{le="..."}` lines per histogram. Registry keys built with
+// LabeledKey render their labels in brace form on every line; bucket
+// exemplars are appended as OpenMetrics-style `# exemplar="..."`
+// trailers. Metric names are sanitized to the usual [a-zA-Z0-9_:]
 // charset (dots and brackets become underscores). Lines are emitted in
 // sorted name order so identical registries produce identical documents.
 // The serving layer's /metrics endpoint is backed by this dump.
@@ -187,22 +347,41 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	emit := func(format string, args ...any) {
 		b = append(b, fmt.Sprintf(format, args...)...)
 	}
+	typed := map[string]bool{} // labeled series of one base share a TYPE line
+	emitType := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			emit("# TYPE %s %s\n", name, kind)
+		}
+	}
 	for _, k := range sortedKeys(s.Counters) {
-		name := metricName(k)
-		emit("# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+		base, labels := SplitLabeledKey(k)
+		name := metricName(base)
+		emitType(name, "counter")
+		emit("%s%s %d\n", name, labelBlock(labels), s.Counters[k])
 	}
 	for _, k := range sortedKeys(s.Gauges) {
-		name := metricName(k)
-		emit("# TYPE %s gauge\n%s %v\n", name, name, s.Gauges[k])
+		base, labels := SplitLabeledKey(k)
+		name := metricName(base)
+		emitType(name, "gauge")
+		emit("%s%s %v\n", name, labelBlock(labels), s.Gauges[k])
 	}
 	for _, k := range sortedKeys(s.Histograms) {
 		h := s.Histograms[k]
-		name := metricName(k)
-		emit("# TYPE %s summary\n", name)
-		emit("%s_count %d\n%s_sum %v\n%s_min %v\n%s_max %v\n%s_mean %v\n",
-			name, h.Count, name, h.Sum, name, h.Min, name, h.Max, name, h.Mean)
+		base, labels := SplitLabeledKey(k)
+		name := metricName(base)
+		lb := labelBlock(labels)
+		emitType(name, "summary")
+		emit("%s_count%s %d\n%s_sum%s %v\n%s_min%s %v\n%s_max%s %v\n%s_mean%s %v\n",
+			name, lb, h.Count, name, lb, h.Sum, name, lb, h.Min, name, lb, h.Max, name, lb, h.Mean)
+		emit("%s_p50%s %v\n%s_p99%s %v\n%s_p999%s %v\n",
+			name, lb, h.P50, name, lb, h.P99, name, lb, h.P999)
 		for _, le := range sortedKeys(h.Buckets) {
-			emit("%s_bucket{le=%q} %d\n", name, le, h.Buckets[le])
+			emit("%s_bucket%s %d", name, labelBlock(labels, [2]string{"le", le}), h.Buckets[le])
+			if ex := h.Exemplars[le]; ex != "" {
+				emit(" # exemplar=%q", ex)
+			}
+			emit("\n")
 		}
 	}
 	_, err := w.Write(b)

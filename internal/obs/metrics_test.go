@@ -165,3 +165,100 @@ func TestWriteTextNil(t *testing.T) {
 		t.Fatal("nil metrics should error")
 	}
 }
+
+func TestLabeledKeyRoundTrip(t *testing.T) {
+	key := LabeledKey("serve.stage_cycles", "model", "mobilenet-gold", "slo", "gold", "stage", "lease_wait")
+	if key != "serve.stage_cycles{model=mobilenet-gold,slo=gold,stage=lease_wait}" {
+		t.Fatalf("key = %q", key)
+	}
+	base, labels := SplitLabeledKey(key)
+	if base != "serve.stage_cycles" || len(labels) != 3 ||
+		labels[0] != [2]string{"model", "mobilenet-gold"} ||
+		labels[2] != [2]string{"stage", "lease_wait"} {
+		t.Fatalf("split = %q %v", base, labels)
+	}
+	// Unlabeled keys pass through.
+	if base, labels := SplitLabeledKey("serve.requests"); base != "serve.requests" || labels != nil {
+		t.Fatalf("unlabeled split = %q %v", base, labels)
+	}
+	if LabeledKey("plain") != "plain" {
+		t.Fatal("LabeledKey without pairs should be the bare name")
+	}
+}
+
+func TestWriteTextLabeledSeries(t *testing.T) {
+	m := NewMetrics()
+	m.Observe(LabeledKey("serve.stage_cycles", "model", "toy-gold", "stage", "execute"), 100)
+	m.Observe(LabeledKey("serve.stage_cycles", "model", "toy-gold", "stage", "lease_wait"), 900)
+	m.Inc(LabeledKey("serve.outcome", "outcome", "shed"))
+
+	var b strings.Builder
+	if err := m.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`pimflow_serve_stage_cycles_count{model="toy-gold",stage="execute"} 1`,
+		`pimflow_serve_stage_cycles_bucket{model="toy-gold",stage="lease_wait",le="<=2^10"} 1`,
+		`pimflow_serve_outcome{outcome="shed"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("labeled exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per base name, shared by all labeled series.
+	if got := strings.Count(out, "# TYPE pimflow_serve_stage_cycles summary"); got != 1 {
+		t.Fatalf("TYPE lines for shared base = %d, want 1:\n%s", got, out)
+	}
+}
+
+func TestHistogramQuantileEstimation(t *testing.T) {
+	m := NewMetrics()
+	for i := 1; i <= 1000; i++ {
+		m.Observe("lat", float64(i))
+	}
+	h := m.Snapshot().Histograms["lat"]
+	// The true p50 is 500 (bucket (256,512]); the estimate must land in
+	// that bucket, and p99 (true 990) inside (512,1024].
+	if h.P50 <= 256 || h.P50 > 512 {
+		t.Fatalf("p50 estimate %v outside its bucket (256,512]", h.P50)
+	}
+	if h.P99 <= 512 || h.P99 > 1024 {
+		t.Fatalf("p99 estimate %v outside its bucket (512,1024]", h.P99)
+	}
+	if !(h.P50 <= h.P99 && h.P99 <= h.P999 && h.P999 <= h.Max) {
+		t.Fatalf("quantile estimates out of order: %+v", h)
+	}
+	// Estimates clamp to the observed range.
+	m2 := NewMetrics()
+	m2.Observe("one", 3)
+	h2 := m2.Snapshot().Histograms["one"]
+	if h2.P50 != 3 || h2.P999 != 3 {
+		t.Fatalf("single-sample quantiles not clamped to the sample: %+v", h2)
+	}
+}
+
+func TestObserveExemplar(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveExemplar("lat", 100, "r1")
+	m.ObserveExemplar("lat", 120, "r2") // same bucket: last write wins
+	m.ObserveExemplar("lat", 100000, "r9")
+	m.Observe("lat", 90) // no exemplar: must not clobber
+	h := m.Snapshot().Histograms["lat"]
+	if h.Exemplars["<=2^7"] != "r2" {
+		t.Fatalf("bucket exemplar = %q, want r2 (%v)", h.Exemplars["<=2^7"], h.Exemplars)
+	}
+	if h.Exemplars["<=2^17"] != "r9" {
+		t.Fatalf("tail bucket exemplar = %q, want r9", h.Exemplars["<=2^17"])
+	}
+	var b strings.Builder
+	if err := m.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `pimflow_lat_bucket{le="<=2^17"} 1 # exemplar="r9"`) {
+		t.Fatalf("exemplar trailer missing:\n%s", b.String())
+	}
+	// Nil-safety.
+	var nilM *Metrics
+	nilM.ObserveExemplar("x", 1, "r0")
+}

@@ -21,13 +21,23 @@ import (
 //   - PIDCompile holds wall-clock time: search phases and per-candidate
 //     profiling probes, on lanes allocated to keep concurrent spans from
 //     overlapping on one track.
+//   - PIDRequests holds simulated time again, one lane per concurrently
+//     in-flight serving request: an enclosing span from virtual arrival
+//     to completion with nested per-stage slices, so a single request's
+//     journey is visible alongside the GPU/PIM channel timeline.
 const (
 	PIDTimeline = 1
 	PIDCompile  = 2
+	PIDRequests = 3
 
 	TIDGPU         = 0
 	TIDPIM         = 1
 	TIDChannelBase = 100
+
+	// maxRequestLanes caps the request-lane fan-out; once every lane is
+	// busy, new requests reuse the earliest-ending lane (their spans may
+	// then overlap visually, but the export stays bounded).
+	maxRequestLanes = 128
 )
 
 // Event is one Chrome trace-event. Phase "X" is a complete event (ts +
@@ -64,6 +74,9 @@ type Trace struct {
 	groups  map[string]*laneGroup
 	nextTID int // next lane-group base tid in PIDCompile
 	meta    map[string]any
+	// reqLanes is the per-lane occupation frontier (end cycle) of the
+	// PIDRequests process; lanes are reserved by [start, end) interval.
+	reqLanes []int64
 }
 
 // NewTrace returns an empty collector; its wall clock starts now.
@@ -151,6 +164,67 @@ func (t *Trace) InstantCycles(tid int, name, cat string, atCycles int64, args ma
 		TS:  float64(atCycles) / 1e3,
 		PID: PIDTimeline, TID: tid, Args: args,
 	})
+}
+
+// LaneStage is one attributed slice of a request's journey on the
+// simulated timeline: [Start, End) in GPU-clock cycles.
+type LaneStage struct {
+	Name  string
+	Start int64
+	End   int64
+}
+
+// RequestLaneCycles records one serving request's lifecycle in the
+// requests process of the trace: an enclosing complete event over
+// [startCycles, endCycles) plus one nested slice per non-empty stage,
+// all on a lane that is free over that interval (so concurrently
+// in-flight requests render on separate tracks). Stage slices share the
+// enclosing event's args.
+func (t *Trace) RequestLaneCycles(name, cat string, startCycles, endCycles int64, stages []LaneStage, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.processNameLocked(PIDRequests, "requests (simulated time)")
+	lane := -1
+	for i, end := range t.reqLanes {
+		if end <= startCycles {
+			lane = i
+			break
+		}
+	}
+	if lane < 0 {
+		if len(t.reqLanes) < maxRequestLanes {
+			t.reqLanes = append(t.reqLanes, 0)
+			lane = len(t.reqLanes) - 1
+			t.threadNameLocked(PIDRequests, lane, fmt.Sprintf("req-lane-%d", lane))
+		} else {
+			for i := range t.reqLanes {
+				if lane < 0 || t.reqLanes[i] < t.reqLanes[lane] {
+					lane = i
+				}
+			}
+		}
+	}
+	if endCycles > t.reqLanes[lane] {
+		t.reqLanes[lane] = endCycles
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: cat, Phase: "X",
+		TS: float64(startCycles) / 1e3, Dur: float64(endCycles-startCycles) / 1e3,
+		PID: PIDRequests, TID: lane, Args: args,
+	})
+	for _, st := range stages {
+		if st.End <= st.Start {
+			continue
+		}
+		t.events = append(t.events, Event{
+			Name: st.Name, Cat: cat + ".stage", Phase: "X",
+			TS: float64(st.Start) / 1e3, Dur: float64(st.End-st.Start) / 1e3,
+			PID: PIDRequests, TID: lane, Args: args,
+		})
+	}
 }
 
 // Span opens a wall-clock span in the named lane group ("phase",

@@ -173,6 +173,49 @@ func TestSpanGroupsGetDisjointTIDRanges(t *testing.T) {
 	}
 }
 
+func TestRequestLaneCycles(t *testing.T) {
+	tr := NewTrace()
+	args := map[string]any{"model": "toy-gold", "id": "r1"}
+	tr.RequestLaneCycles("r1 toy-gold", "serve.request", 1000, 5000, []LaneStage{
+		{Name: "batch_window", Start: 1000, End: 2000},
+		{Name: "lease_wait", Start: 2000, End: 2000}, // empty: skipped
+		{Name: "execute", Start: 2000, End: 5000},
+	}, args)
+	// Overlapping request: distinct lane. Later request: reuses lane 0.
+	tr.RequestLaneCycles("r2 toy-bronze", "serve.request", 2000, 6000, nil, nil)
+	tr.RequestLaneCycles("r3 toy-gold", "serve.request", 7000, 8000, nil, nil)
+
+	lanes := map[string]int{}
+	var stageEvents int
+	for _, e := range tr.Events() {
+		if e.PID != PIDRequests {
+			continue
+		}
+		switch {
+		case e.Phase == "M":
+		case e.Cat == "serve.request.stage":
+			stageEvents++
+			if e.TID != lanes["r1 toy-gold"] {
+				t.Errorf("stage %q on lane %d, enclosing span on %d", e.Name, e.TID, lanes["r1 toy-gold"])
+			}
+		default:
+			lanes[e.Name] = e.TID
+		}
+	}
+	if stageEvents != 2 {
+		t.Fatalf("stage events = %d, want 2 (empty stage skipped)", stageEvents)
+	}
+	if lanes["r1 toy-gold"] == lanes["r2 toy-bronze"] {
+		t.Errorf("overlapping requests share lane %d", lanes["r1 toy-gold"])
+	}
+	if lanes["r3 toy-gold"] != lanes["r1 toy-gold"] {
+		t.Errorf("request after both ended should reuse lane 0: got %d", lanes["r3 toy-gold"])
+	}
+	// Nil-safety.
+	var nilTr *Trace
+	nilTr.RequestLaneCycles("r", "c", 0, 1, nil, nil)
+}
+
 func TestTraceConcurrentUse(t *testing.T) {
 	tr := NewTrace()
 	var wg sync.WaitGroup

@@ -65,6 +65,13 @@ type Config struct {
 	// recording, so it is reserved for explicitly traced runs). Nil, the
 	// default, costs one pointer compare per node.
 	Trace *obs.Trace `json:"-"`
+	// TraceNodesOnly suppresses the per-channel PIM command activity in
+	// the trace, keeping only the per-node GPU/PIM spans. The serving
+	// stack sets it when attaching one shared trace to thousands of
+	// executions: per-command detail is per-layer debugging, and
+	// re-simulating every offloaded node of every request makes the
+	// event buffer grow without bound.
+	TraceNodesOnly bool `json:"-"`
 	// Metrics, when non-nil, receives execution counters and gauges
 	// (busy cycles, data movement, per-channel utilization, PIM command
 	// mix). Nil disables collection at the same near-zero cost.
@@ -340,7 +347,7 @@ func ExecuteAt(g *graph.Graph, cfg Config, startCycle int64) (*Report, error) {
 			if cfg.Metrics != nil {
 				recordPIMNodeMetrics(cfg.Metrics, prof)
 			}
-			if cfg.Trace.Enabled() {
+			if cfg.Trace.Enabled() && !cfg.TraceNodesOnly {
 				if err := traceChannelActivity(cfg, w, n.Name, start); err != nil {
 					return nil, fmt.Errorf("runtime: tracing PIM node %q: %w", n.Name, err)
 				}

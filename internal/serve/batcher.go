@@ -99,6 +99,9 @@ func (s *Server) route(pend map[string]*pendingBatch, it *item) {
 		it.finish(nil, nil)
 		return
 	}
+	if it.lc != nil {
+		it.popped = time.Now()
+	}
 	// A pinned arrival advances the virtual batching clock for every
 	// model: batches whose virtual window it passes flush first, in
 	// deterministic (flushCycle, model) order.
@@ -138,6 +141,12 @@ func (s *Server) flush(pend map[string]*pendingBatch, p *pendingBatch, why strin
 	}
 	s.cfg.Metrics.Inc("serve.batch_flush." + why)
 	s.cfg.Metrics.Set("serve.batch_pending", float64(pendingCount(pend)))
+	if p.items[0].lc != nil {
+		now := time.Now()
+		for _, it := range p.items {
+			it.flushed = now
+		}
+	}
 	if obs.Enabled(slog.LevelDebug) {
 		obs.L().Debug("serve: batch flushed", "model", p.model, "size", len(p.items), "why", why)
 	}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -31,8 +33,10 @@ type errorBody struct {
 
 // Handler returns the server's HTTP API:
 //
-//	GET    /healthz                  liveness + drain state
-//	GET    /metrics                  Prometheus-style text dump
+//	GET    /healthz                  liveness + drain state + latency breakdown
+//	GET    /metrics                  Prometheus-style text dump (JSON with Accept: application/json)
+//	GET    /metrics.json             the same registry as JSON
+//	GET    /debug/requests           request-lifecycle ring (model/slo/outcome/n filters)
 //	GET    /v1/models                list loaded models
 //	POST   /v1/models/{name}         load a model (ModelSpec body)
 //	DELETE /v1/models/{name}         unload a model
@@ -41,6 +45,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	mux.HandleFunc("GET /v1/models", s.handleList)
 	mux.HandleFunc("POST /v1/models/{name}", s.handleLoad)
 	mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnload)
@@ -89,19 +95,63 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":        status,
 		"models":        s.registry.Len(),
 		"queueDepth":    s.queue.depth(),
 		"leasesActive":  s.sched.InFlight(),
 		"scheduler":     s.sched.Stats(),
 		"uptimeSeconds": time.Since(s.started).Seconds(),
-	})
+	}
+	if bd := s.LatencyBreakdown(); len(bd) > 0 {
+		body["latencyBreakdown"] = bd
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.handleMetricsJSON(w, r)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.cfg.Metrics.WriteText(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.cfg.Metrics.WriteJSON(w)
+}
+
+// handleDebugRequests serves the lifecycle ring, newest first. Filters:
+// ?model=, ?slo=, ?outcome= (exact match), ?n= (cap). 404 when request
+// logging is off (Config.RequestLog == 0) so probes can tell "off" from
+// "no traffic yet".
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	lc := s.lifecycle
+	if lc == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "serve: request logging disabled (Config.RequestLog)"})
+		return
+	}
+	f := SpanFilter{
+		Model:   r.URL.Query().Get("model"),
+		SLO:     r.URL.Query().Get("slo"),
+		Outcome: r.URL.Query().Get("outcome"),
+	}
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "serve: bad n parameter"})
+			return
+		}
+		f.N = n
+	}
+	spans := lc.Recent(f)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":    lc.Total(),
+		"returned": len(spans),
+		"requests": spans,
+	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

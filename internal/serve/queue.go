@@ -81,12 +81,25 @@ type item struct {
 	// flush marks the batcher's flush sentinel (see Server.FlushBatches);
 	// it never carries a request.
 	flush bool
+
+	// Lifecycle tracking (all zero when Config.RequestLog is off): the
+	// request ID, the model's SLO class name, the dispatcher-pop and
+	// batch-flush wall stamps, and the server's tracker.
+	id      string
+	sloName string
+	popped  time.Time
+	flushed time.Time
+	lc      *Lifecycle
 }
 
 // finish completes the item. The reply channel has capacity one and is
 // written exactly once, so finish never blocks a worker even when the
-// submitter already gave up.
+// submitter already gave up. When lifecycle tracking is on, completion
+// is also the single point where the request's span is recorded — every
+// terminal path (served, shed, expired, violated, drained) runs through
+// here.
 func (it *item) finish(resp *InferResponse, err error) {
+	it.lc.complete(it, resp, err)
 	it.reply <- result{resp: resp, err: err}
 }
 

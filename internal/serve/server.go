@@ -48,8 +48,16 @@ type Config struct {
 	// backs the /metrics endpoint; nil gets a private registry.
 	Metrics *obs.Metrics
 	// Trace, when non-nil, collects wall-clock serving spans plus every
-	// execution's simulated-timeline spans at its placed virtual offset.
+	// execution's simulated-timeline spans at its placed virtual offset
+	// (per-node spans only: the per-command channel detail of a solo
+	// traced run would grow one shared trace without bound).
 	Trace *obs.Trace
+	// RequestLog, when positive, turns on request-lifecycle tracking:
+	// every request gets an ID, a per-stage span record kept in a ring of
+	// this size (served by /debug/requests), labeled stage histograms
+	// with request-ID exemplars, and a request lane in Trace. Zero (the
+	// default) keeps the request path free of any tracking cost.
+	RequestLog int
 }
 
 // withDefaults fills zero fields.
@@ -116,6 +124,18 @@ type InferResponse struct {
 	// LatencyCycles is queueing plus service.
 	QueueCycles   int64 `json:"queueCycles"`
 	LatencyCycles int64 `json:"latencyCycles"`
+	// Stage decomposition of LatencyCycles (see StageCycles):
+	// BatchWaitCycles from this request's arrival to its batch's arrival,
+	// LeaseWaitCycles from the batch arrival to the lease start, and
+	// ExecuteCycles from the lease start to this member's completion.
+	// BatchWait + LeaseWait + Execute == LatencyCycles exactly, and
+	// BatchWait + LeaseWait == QueueCycles.
+	BatchWaitCycles int64 `json:"batchWaitCycles"`
+	LeaseWaitCycles int64 `json:"leaseWaitCycles"`
+	ExecuteCycles   int64 `json:"executeCycles"`
+	// RequestID identifies the request in /debug/requests, histogram
+	// exemplars, and trace lanes; empty when request logging is off.
+	RequestID string `json:"requestId,omitempty"`
 	// LatencyMillis is LatencyCycles in simulated milliseconds.
 	LatencyMillis float64 `json:"latencyMillis"`
 	// BatchSize and BatchIndex locate the request in its coalesced batch.
@@ -134,11 +154,12 @@ type InferResponse struct {
 // admission queue, continuous per-model batcher, worker pool, and the
 // virtual-time resource scheduler.
 type Server struct {
-	cfg      Config
-	registry *Registry
-	queue    *queue
-	sched    *Scheduler
-	batches  chan []*item
+	cfg       Config
+	registry  *Registry
+	queue     *queue
+	sched     *Scheduler
+	batches   chan []*item
+	lifecycle *Lifecycle // nil when Config.RequestLog is zero
 
 	mu       sync.Mutex
 	draining bool
@@ -158,12 +179,13 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Profiles = profcache.New()
 	}
 	s := &Server{
-		cfg:      cfg,
-		registry: NewRegistry(cfg.Machine, cfg.Profiles, cfg.Metrics, cfg.Trace, cfg.servingDefaults()),
-		queue:    newQueue(cfg.QueueDepth, cfg.Admission, cfg.Metrics),
-		sched:    NewScheduler(cfg.Machine, cfg.Metrics),
-		batches:  make(chan []*item, 2*cfg.Workers),
-		started:  time.Now(),
+		cfg:       cfg,
+		registry:  NewRegistry(cfg.Machine, cfg.Profiles, cfg.Metrics, cfg.Trace, cfg.servingDefaults()),
+		queue:     newQueue(cfg.QueueDepth, cfg.Admission, cfg.Metrics),
+		sched:     NewScheduler(cfg.Machine, cfg.Metrics),
+		batches:   make(chan []*item, 2*cfg.Workers),
+		lifecycle: newLifecycle(cfg.RequestLog, cfg.Metrics, cfg.Trace),
+		started:   time.Now(),
 	}
 	s.wg.Add(1)
 	go s.dispatcher()
@@ -224,7 +246,17 @@ func (s *Server) Submit(ctx context.Context, req InferRequest) (*Pending, error)
 		slo:      effectiveDeadline(req.DeadlineCycles, lm.SLOTarget),
 		arrival:  req.ArrivalCycle,
 	}
+	if s.lifecycle != nil {
+		it.id = s.lifecycle.nextID()
+		it.sloName = lm.SLO.Name
+		it.lc = s.lifecycle
+	}
 	if err := s.queue.push(it); err != nil {
+		// Admission failures bypass the queue's completion paths; record
+		// the span here (the reply write is unread and harmless).
+		if it.lc != nil {
+			it.finish(nil, err)
+		}
 		end(map[string]any{"error": err.Error()})
 		s.countError(err)
 		return nil, err
@@ -333,6 +365,11 @@ func (s *Server) InferBatch(ctx context.Context, reqs []InferRequest, opts Batch
 			slo:      effectiveDeadline(r.DeadlineCycles, lm.SLOTarget),
 			arrival:  r.ArrivalCycle,
 		}
+		if s.lifecycle != nil {
+			items[i].id = s.lifecycle.nextID()
+			items[i].sloName = lm.SLO.Name
+			items[i].lc = s.lifecycle
+		}
 	}
 	s.process(items, opts.Execute)
 	out := make([]InferOutcome, len(items))
@@ -438,8 +475,11 @@ func (s *Server) process(batch []*item, execute bool) {
 
 	// Place the batch, dropping virtual-deadline violators and canceled
 	// requests until the placement is stable (each drop shortens the
-	// window, which can only help the survivors).
+	// window, which can only help the survivors). batchArrival (the
+	// latest member's stamp — the earliest cycle the whole batch exists)
+	// survives the loop for stage attribution.
 	var lease Lease
+	var batchArrival int64
 	for {
 		live := batch[:0]
 		for _, it := range batch {
@@ -459,6 +499,7 @@ func (s *Server) process(batch []*item, execute bool) {
 				arrival = a
 			}
 		}
+		batchArrival = arrival
 		dur := solo + lm.InitInterval*int64(len(batch)-1)
 		lease, err = s.sched.Place(arrival, lm.Demand, dur)
 		if err != nil {
@@ -515,11 +556,19 @@ func (s *Server) process(batch []*item, execute bool) {
 			QueueCycles:   lease.Start - arrival,
 			LatencyCycles: endCycle - arrival,
 			LatencyMillis: float64(endCycle-arrival) / (lm.rt.GPU.ClockGHz * 1e9) * 1e3,
-			BatchSize:     len(batch),
-			BatchIndex:    i,
-			SLOClass:      lm.SLO.Name,
-			GPUBusy:       rep.GPUBusy,
-			PIMBusy:       rep.PIMBusy,
+			// The three stages partition LatencyCycles exactly: the
+			// member waits for its batch to complete (batchArrival is
+			// the max member stamp), the batch waits for its lease, the
+			// lease runs the member at its pipelined offset.
+			BatchWaitCycles: batchArrival - arrival,
+			LeaseWaitCycles: lease.Start - batchArrival,
+			ExecuteCycles:   endCycle - lease.Start,
+			BatchSize:       len(batch),
+			BatchIndex:      i,
+			SLOClass:        lm.SLO.Name,
+			RequestID:       it.id,
+			GPUBusy:         rep.GPUBusy,
+			PIMBusy:         rep.PIMBusy,
 		}
 		if lm.SLOTarget > 0 && resp.LatencyCycles > lm.SLOTarget {
 			resp.SLOMiss = true
@@ -545,6 +594,10 @@ func (s *Server) runtimeConfig(lm *LoadedModel) runtime.Config {
 	rt := lm.rt
 	rt.Profiles = s.cfg.Profiles
 	rt.Trace = s.cfg.Trace
+	// Per-node spans land at the lease offset on the shared timeline;
+	// per-command channel detail would re-simulate every offloaded node
+	// of every request and grow the trace without bound.
+	rt.TraceNodesOnly = true
 	rt.Metrics = s.cfg.Metrics
 	return rt
 }
