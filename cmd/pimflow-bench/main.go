@@ -15,9 +15,11 @@
 // replay's throughput, simulated-latency percentiles, and attributed
 // per-stage percentile splits into the same snapshot file as a
 // pseudo-benchmark entry; -trace additionally writes a Chrome trace with
-// one lane per in-flight request:
+// one lane per in-flight request, and -certify records each replay's
+// schedule certificate and fails unless it passes every SR-* rule
+// (verify.Schedule):
 //
-//	pimflow-bench -scenario poisson -trace poisson.trace.json -out BENCH_PR7.json
+//	pimflow-bench -scenario poisson -certify -out BENCH_PR7.json
 //
 // With -compare, the command diffs two snapshot files and exits nonzero
 // when a metric regressed beyond -threshold (CI gating):
@@ -123,7 +125,7 @@ func saveSnapshot(out string, results map[string]map[string]Result) error {
 // <q>_*_cycles extras sum to <q>_simcycles exactly. With tracePath the
 // replays share one Chrome trace (request lanes + GPU/PIM timeline,
 // execution forced on) written at the end.
-func runScenarios(label, out, names, tracePath string) error {
+func runScenarios(label, out, names, tracePath string, certify bool) error {
 	if names == "all" {
 		names = "poisson,diurnal,bursty"
 	}
@@ -131,7 +133,7 @@ func runScenarios(label, out, names, tracePath string) error {
 	if err != nil {
 		return err
 	}
-	opts := load.RunOptions{RequestLog: 512}
+	opts := load.RunOptions{RequestLog: 512, Certify: certify}
 	if tracePath != "" {
 		opts.Trace = obs.NewTrace()
 		opts.Execute = true
@@ -175,6 +177,10 @@ func runScenarios(label, out, names, tracePath string) error {
 		if at := rep.Attributed; at != nil {
 			fmt.Printf("  p99 split: batch_window %d + lease_wait %d + execute %d = %d cycles\n",
 				at.P99.Stages.BatchWait, at.P99.Stages.LeaseWait, at.P99.Stages.Execute, at.P99.LatencyCycles)
+		}
+		if rep.Certified {
+			extra["certified_leases"] = float64(rep.CertifiedLeases)
+			fmt.Printf("  schedule certificate: %d leases verified clean (SR-*)\n", rep.CertifiedLeases)
 		}
 	}
 	if err := saveSnapshot(out, results); err != nil {
@@ -363,6 +369,7 @@ func main() {
 	out := flag.String("out", "BENCH_PR7.json", "JSON snapshot file to merge results into")
 	scenario := flag.String("scenario", "", "replay builtin load scenarios (comma-separated, or \"all\") instead of parsing go-test bench output")
 	tracePath := flag.String("trace", "", "with -scenario: write a Chrome trace (request lanes + GPU/PIM timeline) to this file")
+	certify := flag.Bool("certify", false, "with -scenario: record the schedule certificate and fail unless it passes every SR-* rule")
 	doCompare := flag.Bool("compare", false, "compare two snapshot files (positional: before.json after.json); exit nonzero on regressions beyond -threshold")
 	baselineLabel := flag.String("baseline-label", "after", "with -compare: section read from the before file")
 	metrics := flag.String("metrics", "", "with -compare: restrict checks to these metrics (comma-separated units, optionally \"Benchmark:unit\"); empty checks everything")
@@ -377,7 +384,7 @@ func main() {
 			err = compare(flag.Arg(0), flag.Arg(1), *baselineLabel, *label, parseMetricFilter(*metrics), *threshold)
 		}
 	case *scenario != "":
-		err = runScenarios(*label, *out, *scenario, *tracePath)
+		err = runScenarios(*label, *out, *scenario, *tracePath, *certify)
 	default:
 		err = run(*label, *out)
 	}

@@ -1,238 +1,100 @@
-// Command pimflow-lint enforces repository conventions that go vet
-// cannot express, using nothing but the standard library's go/ast:
+// Command pimflow-lint runs the internal/lint type-aware analyzer
+// suite over the module. The suite encodes the serving stack's
+// concurrency and determinism conventions as checkable LT-* rules —
+// no host-clock reads on virtual-time paths, Enabled-guarded logging,
+// mutex-annotated field discipline, errors.Is for sentinels,
+// deterministic map iteration, constant metric keys, context-first
+// signatures, and WaitGroup-tracked goroutines. See DESIGN.md §15 for
+// the full catalogue and the //lint:ignore suppression syntax.
 //
-//   - no-wallclock: packages that model the simulated timeline
-//     (internal/pim, internal/runtime) must not read the host clock.
-//     Simulated cycles are the only notion of time there; a stray
-//     time.Now/Since/Sleep silently couples simulation results to host
-//     load. (internal/obs wraps wall-clock spans for the profiler and is
-//     exempt by design.)
+// Usage:
 //
-//   - guarded-logging: obs.L().Debug/Info/Warn/Error calls evaluate their
-//     key-value arguments before the disabled-logger check inside slog
-//     can reject the record, so every call site must sit inside an
-//     if obs.Enabled(...) { ... } guard. Unguarded calls allocate and
-//     format on every execution even with logging off.
+//	pimflow-lint [-rules] [dir]
 //
-// Usage: pimflow-lint [dir ...] (default: the current directory tree).
-// Findings print as file:line:col: [rule] message; any finding exits 1.
+// With no directory argument the whole module containing the current
+// directory is linted — running from a subdirectory no longer silently
+// restricts the walk to that subtree. With a directory argument, the
+// module containing *that* directory is linted. testdata/, vendor/,
+// hidden directories, and generated files are skipped.
+//
+// Findings print as file:line:col: [RULE] message; any finding exits
+// 1, operational errors exit 2.
 package main
 
 import (
+	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
 	"path/filepath"
-	"strings"
+
+	"pimflow/internal/lint"
 )
 
-// simulatedPackages are the import-path suffixes where wall-clock reads
-// are banned: their only timeline is the simulated cycle counter.
-var simulatedPackages = []string{
-	"internal/pim",
-	"internal/runtime",
-}
-
-// issue is one lint finding.
-type issue struct {
-	pos  token.Position
-	rule string
-	msg  string
-}
-
-func (i issue) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", i.pos.Filename, i.pos.Line, i.pos.Column, i.rule, i.msg)
-}
-
 func main() {
-	roots := os.Args[1:]
-	if len(roots) == 0 {
-		roots = []string{"."}
-	}
-	var issues []issue
-	for _, root := range roots {
-		found, err := lintTree(root)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pimflow-lint:", err)
-			os.Exit(2)
-		}
-		issues = append(issues, found...)
-	}
-	for _, is := range issues {
-		fmt.Println(is)
-	}
-	if len(issues) > 0 {
-		fmt.Fprintf(os.Stderr, "pimflow-lint: %d issue(s)\n", len(issues))
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// lintTree walks a directory tree and lints every non-test Go file.
-func lintTree(root string) ([]issue, error) {
-	var issues []issue
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
+func run(args []string, out, errw *os.File) int {
+	fs := flag.NewFlagSet("pimflow-lint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	listRules := fs.Bool("rules", false, "print the rule catalogue and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(out, "%-17s %s\n", r.ID, r.Doc)
 		}
-		if d.IsDir() {
-			switch d.Name() {
-			case ".git", "testdata", "vendor":
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		fset := token.NewFileSet()
-		f, err := parser.ParseFile(fset, path, nil, 0)
-		if err != nil {
-			return err
-		}
-		issues = append(issues, lintFile(fset, f, inSimulatedPackage(path))...)
-		return nil
-	})
-	return issues, err
+		return 0
+	}
+	dir := "."
+	if fs.NArg() > 0 {
+		dir = fs.Arg(0)
+	}
+	findings, err := lintModule(dir)
+	if err != nil {
+		fmt.Fprintln(errw, "pimflow-lint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, relativized(f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errw, "pimflow-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
 }
 
-// inSimulatedPackage reports whether a file path falls under one of the
-// simulated-timeline package trees.
-func inSimulatedPackage(path string) bool {
-	slashed := filepath.ToSlash(path)
-	for _, pkg := range simulatedPackages {
-		if strings.Contains(slashed, pkg+"/") {
-			return true
-		}
+// lintModule locates the module containing dir, type-checks every
+// package under its root, and runs the full analyzer suite.
+func lintModule(dir string) ([]lint.Finding, error) {
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
 	}
-	return false
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, lint.Run(pkg, lint.All())...)
+	}
+	return findings, nil
 }
 
-// lintFile runs both rules over one parsed file. The simulated flag
-// enables the wall-clock ban.
-func lintFile(fset *token.FileSet, f *ast.File, simulated bool) []issue {
-	var issues []issue
-	if f.Name.Name == "obs" {
-		return nil // obs implements the wall-clock spans and the guard itself
+// relativized renders a finding with the file path relative to the
+// working directory when possible, keeping CLI output short.
+func relativized(f lint.Finding) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && len(rel) < len(f.Pos.Filename) {
+			f.Pos.Filename = rel
+		}
 	}
-	if simulated {
-		issues = append(issues, checkWallClock(fset, f)...)
-	}
-	issues = append(issues, checkLogGuards(fset, f)...)
-	return issues
-}
-
-// checkWallClock flags host-clock reads in simulated-timeline packages.
-func checkWallClock(fset *token.FileSet, f *ast.File) []issue {
-	var issues []issue
-	banned := map[string]bool{"Now": true, "Since": true, "Until": true, "Sleep": true}
-	ast.Inspect(f, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && banned[sel.Sel.Name] {
-			issues = append(issues, issue{
-				pos:  fset.Position(sel.Pos()),
-				rule: "no-wallclock",
-				msg: fmt.Sprintf("time.%s in a simulated-timeline package; model time in cycles instead",
-					sel.Sel.Name),
-			})
-		}
-		return true
-	})
-	return issues
-}
-
-// checkLogGuards flags obs.L().<Level>(...) calls that are not lexically
-// inside an if statement whose condition calls an Enabled check. The
-// guard keeps the call's argument construction off the fast path when
-// logging is disabled.
-func checkLogGuards(fset *token.FileSet, f *ast.File) []issue {
-	// First pass: collect the body spans of guarding if statements.
-	type span struct{ from, to token.Pos }
-	var guards []span
-	ast.Inspect(f, func(n ast.Node) bool {
-		ifs, ok := n.(*ast.IfStmt)
-		if !ok || !mentionsEnabled(ifs.Cond) {
-			return true
-		}
-		guards = append(guards, span{ifs.Body.Pos(), ifs.Body.End()})
-		return true
-	})
-	guarded := func(p token.Pos) bool {
-		for _, g := range guards {
-			if p >= g.from && p < g.to {
-				return true
-			}
-		}
-		return false
-	}
-	// Second pass: every obs.L().X(...) call must fall in a guard span.
-	var issues []issue
-	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || !isObsLogCall(call) {
-			return true
-		}
-		if !guarded(call.Pos()) {
-			issues = append(issues, issue{
-				pos:  fset.Position(call.Pos()),
-				rule: "guarded-logging",
-				msg:  "obs.L() log call outside an if obs.Enabled(...) guard builds its arguments even when logging is off",
-			})
-		}
-		return true
-	})
-	return issues
-}
-
-// mentionsEnabled reports whether an expression calls some Enabled
-// check (obs.Enabled, Trace.Enabled, ...), possibly inside a larger
-// boolean condition.
-func mentionsEnabled(cond ast.Expr) bool {
-	found := false
-	ast.Inspect(cond, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch fn := call.Fun.(type) {
-		case *ast.SelectorExpr:
-			if fn.Sel.Name == "Enabled" {
-				found = true
-			}
-		case *ast.Ident:
-			if fn.Name == "Enabled" {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// isObsLogCall matches obs.L().Debug/Info/Warn/Error/Log(...).
-func isObsLogCall(call *ast.CallExpr) bool {
-	method, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	switch method.Sel.Name {
-	case "Debug", "Info", "Warn", "Error", "Log":
-	default:
-		return false
-	}
-	inner, ok := method.X.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	l, ok := inner.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	pkg, ok := l.X.(*ast.Ident)
-	return ok && pkg.Name == "obs" && l.Sel.Name == "L"
+	return f.String()
 }

@@ -1,119 +1,64 @@
 package main
 
 import (
-	"go/parser"
-	"go/token"
 	"strings"
 	"testing"
+
+	"pimflow/internal/lint"
 )
 
-func lintSource(t *testing.T, src string, simulated bool) []issue {
-	t.Helper()
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "src.go", src, 0)
-	if err != nil {
-		t.Fatalf("parse: %v", err)
-	}
-	return lintFile(fset, f, simulated)
-}
-
-func TestWallClockFlaggedInSimulatedPackage(t *testing.T) {
-	src := `package pim
-import "time"
-func now() time.Time { return time.Now() }
-`
-	issues := lintSource(t, src, true)
-	if len(issues) != 1 || issues[0].rule != "no-wallclock" {
-		t.Fatalf("want one no-wallclock issue, got %v", issues)
-	}
-	if got := lintSource(t, src, false); len(got) != 0 {
-		t.Fatalf("non-simulated package should allow time.Now, got %v", got)
-	}
-}
-
-func TestWallClockVariants(t *testing.T) {
-	src := `package runtime
-import "time"
-func wait(t0 time.Time) {
-	time.Sleep(time.Millisecond)
-	_ = time.Since(t0)
-}
-`
-	issues := lintSource(t, src, true)
-	if len(issues) != 2 {
-		t.Fatalf("want 2 issues (Sleep, Since), got %v", issues)
-	}
-}
-
-func TestUnguardedLogFlagged(t *testing.T) {
-	src := `package search
-import "pimflow/internal/obs"
-func f(n int) {
-	obs.L().Info("hello", "n", n)
-}
-`
-	issues := lintSource(t, src, false)
-	if len(issues) != 1 || issues[0].rule != "guarded-logging" {
-		t.Fatalf("want one guarded-logging issue, got %v", issues)
-	}
-}
-
-func TestGuardedLogAccepted(t *testing.T) {
-	src := `package search
-import (
-	"log/slog"
-	"pimflow/internal/obs"
-)
-func f(n int) {
-	if obs.Enabled(slog.LevelDebug) {
-		obs.L().Debug("hello", "n", n)
-	}
-	if n > 0 && obs.Enabled(slog.LevelInfo) {
-		obs.L().Info("positive", "n", n)
-	}
-}
-`
-	if issues := lintSource(t, src, false); len(issues) != 0 {
-		t.Fatalf("guarded calls should pass, got %v", issues)
-	}
-}
-
-func TestObsPackageExempt(t *testing.T) {
-	src := `package obs
-import "time"
-func stamp() time.Time { return time.Now() }
-`
-	if issues := lintSource(t, src, true); len(issues) != 0 {
-		t.Fatalf("obs package should be exempt, got %v", issues)
-	}
-}
-
-func TestSimulatedPackageDetection(t *testing.T) {
-	cases := map[string]bool{
-		"internal/pim/command.go":     true,
-		"internal/runtime/runtime.go": true,
-		"internal/search/run.go":      false,
-		"internal/obs/trace.go":       false,
-	}
-	for path, want := range cases {
-		if got := inSimulatedPackage(path); got != want {
-			t.Errorf("inSimulatedPackage(%q) = %v, want %v", path, got, want)
-		}
-	}
-}
-
+// TestRepoIsClean is the linter's acceptance gate: the repository it
+// ships in must pass the full analyzer suite, regardless of which
+// subdirectory the run starts from (lintModule walks up to go.mod).
 func TestRepoIsClean(t *testing.T) {
-	// The linter's own acceptance gate: the repository it ships in must
-	// pass it. Lints the module from the package directory's grandparent.
-	issues, err := lintTree("../..")
+	findings, err := lintModule(".")
 	if err != nil {
-		t.Fatalf("lintTree: %v", err)
+		t.Fatalf("lintModule: %v", err)
 	}
 	var msgs []string
-	for _, is := range issues {
-		msgs = append(msgs, is.String())
+	for _, f := range findings {
+		msgs = append(msgs, f.String())
 	}
-	if len(issues) != 0 {
-		t.Fatalf("repository has lint issues:\n%s", strings.Join(msgs, "\n"))
+	if len(findings) != 0 {
+		t.Fatalf("repository has lint findings:\n%s", strings.Join(msgs, "\n"))
+	}
+}
+
+// TestModuleRootDiscovery checks a run from a nested package directory
+// lints the whole module, not the subtree: the loader must resolve the
+// same module root from here and from two levels up.
+func TestModuleRootDiscovery(t *testing.T) {
+	here, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := lint.FindModuleRoot("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if here != up {
+		t.Fatalf("module root differs by start dir: %q vs %q", here, up)
+	}
+}
+
+// TestRuleCatalogueComplete pins the suite shape the CLI advertises:
+// at least the eight LT-* analyzers from the issue are present.
+func TestRuleCatalogueComplete(t *testing.T) {
+	want := []string{
+		lint.RuleWallClock, lint.RuleGuardedLog, lint.RuleGuardedField,
+		lint.RuleSentinelErr, lint.RuleMapOrder, lint.RuleMetricKey,
+		lint.RuleCtxFirst, lint.RuleGoroutine,
+	}
+	have := map[string]bool{}
+	for _, a := range lint.All() {
+		have[a.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("analyzer %s missing from suite", id)
+		}
+	}
+	if len(lint.All()) < 8 {
+		t.Errorf("suite has %d analyzers, want >= 8", len(lint.All()))
 	}
 }

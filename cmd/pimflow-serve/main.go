@@ -27,7 +27,10 @@
 // requests queue, same-model requests coalesce into batches.
 //
 // SIGINT/SIGTERM drains gracefully: queued requests finish, new ones get
-// 503, and the profile cache (when -profile-cache is set) is saved.
+// 503, and the profile cache (when -profile-cache is set) is saved. With
+// -verify the server records the schedule certificate (every lease, its
+// member requests, every release's frontier stamp) and checks the SR-*
+// rules at drain, exiting nonzero on any violation.
 package main
 
 import (
@@ -46,6 +49,7 @@ import (
 	"pimflow/internal/obs"
 	"pimflow/internal/profcache"
 	"pimflow/internal/serve"
+	"pimflow/internal/verify"
 )
 
 func main() {
@@ -66,6 +70,7 @@ func main() {
 		sloClass   = flag.String("slo", "", "default latency class for preloads (gold, silver, bronze; empty: best-effort)")
 		profFile   = flag.String("profile-cache", "", "JSON profile-cache file: loaded at startup, saved at shutdown")
 		requestLog = flag.Int("request_log", 512, "request-lifecycle ring size for /debug/requests and stage histograms (0: tracking off)")
+		verifySch  = flag.Bool("verify", false, "record the schedule certificate and check the SR-* rules at drain (nonzero exit on violations)")
 		traceFile  = flag.String("trace", "", "Chrome trace file written at shutdown (request lanes + execution timeline)")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-drain budget at shutdown")
 		verbose    = flag.Bool("v", false, "info-level structured logs on stderr")
@@ -80,7 +85,7 @@ func main() {
 	}
 	if err := run(*addr, *load, *policy, *channels, *pimCh, *machineGPU, *machinePIM,
 		*queueDepth, *admission, *workers, *maxBatch, *batchWin, *batchCyc, *sloClass,
-		*profFile, *requestLog, *traceFile, *drainWait); err != nil {
+		*profFile, *requestLog, *traceFile, *drainWait, *verifySch); err != nil {
 		fmt.Fprintln(os.Stderr, "pimflow-serve:", err)
 		os.Exit(1)
 	}
@@ -89,7 +94,7 @@ func main() {
 func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 	queueDepth int, admission string, workers, maxBatch int,
 	batchWin time.Duration, batchCyc int64, sloClass, profFile string,
-	requestLog int, traceFile string, drainWait time.Duration) error {
+	requestLog int, traceFile string, drainWait time.Duration, verifySch bool) error {
 	adm, err := serve.ParseAdmissionPolicy(admission)
 	if err != nil {
 		return err
@@ -119,6 +124,7 @@ func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 		Profiles:          profiles,
 		RequestLog:        requestLog,
 		Trace:             trace,
+		Certify:           verifySch,
 	})
 	if err != nil {
 		return err
@@ -163,6 +169,17 @@ func run(addr, load, policy string, channels, pimCh, machineGPU, machinePIM,
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if verifySch {
+		cert := srv.Certificate()
+		if diags := verify.Schedule(cert); len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			return fmt.Errorf("schedule certificate: %d SR-* violation(s) across %d leases", len(diags), len(cert.Leases))
+		}
+		fmt.Printf("schedule certificate: %d leases, %d requests verified clean (SR-*)\n",
+			len(cert.Leases), len(cert.Requests))
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// analyzerCtxFirst implements LT-CTX-FIRST: a context.Context
+// parameter goes first, per the context package's own contract. The
+// serving stack threads deadlines through Submit/Infer paths, and a
+// buried ctx parameter is how a deadline quietly stops propagating
+// when a call site is refactored. Methods whose first parameter is the
+// receiver are unaffected; variadic and multi-name parameter groups
+// are handled. Repo-wide.
+var analyzerCtxFirst = &Analyzer{
+	ID:  RuleCtxFirst,
+	Doc: "context.Context parameters come first",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var ft *ast.FuncType
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					ft = n.Type
+				case *ast.FuncLit:
+					ft = n.Type
+				default:
+					return true
+				}
+				if ft.Params == nil {
+					return true
+				}
+				pos := 0 // parameter position, counting each name in a group
+				for _, field := range ft.Params.List {
+					names := len(field.Names)
+					if names == 0 {
+						names = 1 // unnamed parameter
+					}
+					if isNamed(p.Info.TypeOf(field.Type), "context", "Context") && pos > 0 {
+						p.Reportf(field, "context.Context is parameter %d; it must come first", pos+1)
+					}
+					pos += names
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerGoroutine implements LT-GOROUTINE. Graceful drain is a core
+// serving guarantee — Shutdown must observe every worker finish — so
+// goroutines in internal/serve and internal/load must be tracked by a
+// sync.WaitGroup. A go statement passes if the statement immediately
+// before it in the same block calls Add on a WaitGroup ("wg.Add(1);
+// go s.worker()"), or the spawned function literal itself touches a
+// WaitGroup method (Done/Wait inside the body — the shutdown-notifier
+// pattern "go func() { wg.Wait(); close(done) }()"). Everything else
+// is a leak the drain path cannot see.
+var analyzerGoroutine = &Analyzer{
+	ID:  RuleGoroutine,
+	Doc: "goroutines in serve/load are WaitGroup-tracked (Add before go, or Done/Wait in the body)",
+	Run: func(p *Pass) {
+		if !p.InScope("internal/serve", "internal/load") {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				block, ok := n.(*ast.BlockStmt)
+				if !ok {
+					return true
+				}
+				for i, st := range block.List {
+					gs, ok := st.(*ast.GoStmt)
+					if !ok {
+						continue
+					}
+					if i > 0 && stmtCallsWaitGroupAdd(p.Info, block.List[i-1]) {
+						continue
+					}
+					if goUsesWaitGroup(p.Info, gs) {
+						continue
+					}
+					p.Reportf(gs, "untracked goroutine: call wg.Add before the go statement or track completion with a WaitGroup in the body")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// stmtCallsWaitGroupAdd reports whether the statement is a call to
+// (*sync.WaitGroup).Add.
+func stmtCallsWaitGroupAdd(info *types.Info, st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	return isWaitGroupMethod(info, sel)
+}
+
+// goUsesWaitGroup reports whether the goroutine's function literal (or
+// the call's arguments) reference any sync.WaitGroup method.
+func goUsesWaitGroup(info *types.Info, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(gs.Call, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok && isWaitGroupMethod(info, sel) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isWaitGroupMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), "sync", "WaitGroup")
+}

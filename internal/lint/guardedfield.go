@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+var guardedByRx = regexp.MustCompile(`guarded by (\w+)`)
+
+// analyzerGuardedField implements LT-GUARDED-FIELD. Struct fields in
+// the concurrency-heavy packages (internal/serve, internal/obs,
+// internal/load) may declare their lock discipline in a field comment:
+//
+//	items []*item // guarded by mu
+//
+// Every selector access to such a field must then occur inside a
+// function that either locks that mutex (a .Lock()/.RLock() call on a
+// selector or identifier named after it) or declares itself
+// lock-inheriting by the *Locked naming convention. Composite-literal
+// construction is exempt — a value that has not escaped yet needs no
+// lock. This turns the "// guarded by mu" comments from prose into a
+// checked contract.
+var analyzerGuardedField = &Analyzer{
+	ID:  RuleGuardedField,
+	Doc: "fields annotated 'guarded by <mu>' are only accessed under that mutex or in *Locked functions",
+	Run: func(p *Pass) {
+		if !p.InScope("internal/serve", "internal/obs", "internal/load") {
+			return
+		}
+		guarded := collectGuardedFields(p)
+		if len(guarded) == 0 {
+			return
+		}
+		for _, f := range p.Files {
+			idx := indexFuncs(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v, ok := p.Info.Uses[sel.Sel].(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, ok := guarded[v]
+				if !ok {
+					return true
+				}
+				fd := idx.funcFor(sel.Pos())
+				if fd == nil {
+					return true
+				}
+				if isLockedName(fd.Name.Name) || funcLocks(fd, mu) {
+					return true
+				}
+				p.Reportf(sel, "field %s is guarded by %s but %s neither locks %s nor is named *Locked",
+					v.Name(), mu, fd.Name.Name, mu)
+				return true
+			})
+		}
+	},
+}
+
+// collectGuardedFields maps each field object declared in this package
+// with a "guarded by <mu>" comment (doc or trailing) to its mutex name.
+func collectGuardedFields(p *Pass) map[*types.Var]string {
+	guarded := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRx.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func isLockedName(name string) bool {
+	return len(name) >= len("Locked") && name[len(name)-len("Locked"):] == "Locked"
+}
+
+// funcLocks reports whether fd contains a Lock or RLock call on a
+// receiver path ending in the named mutex ("s.mu.Lock()", "mu.RLock()",
+// "l.q.mu.Lock()").
+func funcLocks(fd *ast.FuncDecl, mu string) bool {
+	if fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			if recv.Name == mu {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if recv.Sel.Name == mu {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

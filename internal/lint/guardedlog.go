@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// slogEmit lists the *slog.Logger methods (and log/slog package
+// functions) that format and emit a record — the expensive part that
+// must stay off the hot path when logging is disabled. With/WithGroup
+// are cheap handler plumbing and stay legal.
+var slogEmit = map[string]bool{
+	"Debug": true, "Info": true, "Warn": true, "Error": true, "Log": true,
+	"DebugContext": true, "InfoContext": true, "WarnContext": true,
+	"ErrorContext": true, "LogAttrs": true,
+}
+
+// analyzerGuardedLog implements LT-GUARDED-LOG. Every slog emission
+// outside internal/obs must sit inside an if whose condition calls an
+// Enabled guard (obs.Enabled, handler Enabled, trace Enabled), so the
+// argument evaluation — fmt.Sprintf, attribute construction — costs
+// nothing when observability is off. The check resolves the receiver
+// type through go/types, so aliased imports, re-exported loggers, and
+// method values ("f := obs.L().Info") are all caught; the old
+// syntactic rule only matched the literal "obs.L()." spelling.
+var analyzerGuardedLog = &Analyzer{
+	ID:  RuleGuardedLog,
+	Doc: "slog emissions must be inside an Enabled() guard",
+	Run: func(p *Pass) {
+		if p.InScope("internal/obs") && !p.Fixture {
+			return
+		}
+		for _, f := range p.Files {
+			guards := enabledSpans(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if !slogEmit[n.Sel.Name] {
+						return true
+					}
+					obj := p.Info.Uses[n.Sel]
+					if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "log/slog" {
+						return true
+					}
+					// Methods of slog.Logger plus package-level slog.Info etc.
+					if fn, ok := obj.(*types.Func); ok {
+						if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+							!isNamed(sig.Recv().Type(), "log/slog", "Logger") {
+							return true
+						}
+					}
+					if !guards.contains(n.Pos()) {
+						p.Reportf(n, "unguarded log emission slog %s: wrap in if obs.Enabled(...) so disabled logging stays free", n.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// spanSet is a set of source ranges (if-statement bodies whose
+// condition consults an Enabled guard).
+type spanSet [][2]token.Pos
+
+func (s spanSet) contains(pos token.Pos) bool {
+	for _, sp := range s {
+		if sp[0] <= pos && pos < sp[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// enabledSpans collects the body ranges of every if statement whose
+// condition contains a call to a function or method named Enabled.
+func enabledSpans(f *ast.File) spanSet {
+	var spans spanSet
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !condCallsEnabled(ifs.Cond) {
+			return true
+		}
+		spans = append(spans, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		return true
+	})
+	return spans
+}
+
+func condCallsEnabled(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn.Name == "Enabled" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if fn.Sel.Name == "Enabled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,328 @@
+// Package lint is PIMFlow's type-aware repository analyzer framework:
+// the static complement of internal/verify, aimed at the conventions
+// that keep the concurrency-heavy serving stack deterministic and cheap
+// when observability is off. It is built on nothing but the standard
+// library's go/ast and go/types — a custom module loader type-checks
+// every package in the repository (stdlib dependencies are type-checked
+// from GOROOT source), and per-rule analyzers walk the typed syntax.
+//
+// Each analyzer owns one documented LT-* rule ID (the catalogue is in
+// Rules and DESIGN.md §15), reports findings with stable IDs so tests
+// and CI can assert on specific violations, and honors suppression
+// comments:
+//
+//	//lint:ignore LT-XXXX reason
+//
+// placed on the flagged line or the line directly above it. A
+// suppression without a reason is itself a finding — every silenced
+// rule must say why.
+//
+// Two source annotations extend rule scope beyond package lists:
+//
+//	//pimflow:virtual-time    (file level: the file models virtual time,
+//	                           so LT-WALLCLOCK applies to it)
+//	//pimflow:deterministic   (func doc: the function promises
+//	                           deterministic behavior, so LT-MAP-ORDER
+//	                           applies to its map iterations)
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Rule IDs of the type-aware analyzer suite. Every ID has a failing
+// fixture under testdata/ proving the analyzer fires, and a catalogue
+// entry in DESIGN.md §15.
+const (
+	RuleWallClock    = "LT-WALLCLOCK"     // host-clock read on a virtual-time path
+	RuleGuardedLog   = "LT-GUARDED-LOG"   // obs log call outside an Enabled guard
+	RuleGuardedField = "LT-GUARDED-FIELD" // guarded field accessed without its mutex
+	RuleSentinelErr  = "LT-SENTINEL-ERR"  // sentinel error compared with == / !=
+	RuleMapOrder     = "LT-MAP-ORDER"     // map iteration in a deterministic function
+	RuleMetricKey    = "LT-METRIC-KEY"    // non-constant metric key or label name
+	RuleCtxFirst     = "LT-CTX-FIRST"     // context.Context not the first parameter
+	RuleGoroutine    = "LT-GOROUTINE"     // goroutine not tracked by a WaitGroup
+	RuleBadIgnore    = "LT-IGNORE"        // malformed suppression comment
+)
+
+// Rule is one documented invariant of the suite.
+type Rule struct {
+	ID  string
+	Doc string
+}
+
+// Rules returns the analyzer catalogue in a stable order.
+func Rules() []Rule {
+	rules := make([]Rule, 0, len(All())+1)
+	for _, a := range All() {
+		rules = append(rules, Rule{ID: a.ID, Doc: a.Doc})
+	}
+	rules = append(rules, Rule{RuleBadIgnore, "suppression comments name a rule and a reason"})
+	return rules
+}
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Analyzer is one self-contained rule: an ID, its one-line contract,
+// and a Run that inspects a typed package and reports findings.
+type Analyzer struct {
+	ID  string
+	Doc string
+	Run func(*Pass)
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Fset    *token.FileSet
+	PkgPath string
+	Pkg     *types.Package
+	Files   []*ast.File
+	Info    *types.Info
+	// Fixture marks a test-harness pass: path-scoped rules treat the
+	// package as in scope, so fixtures need not mimic real import paths.
+	Fixture bool
+
+	analyzer *Analyzer
+	suppress map[string][]suppression
+	findings *[]Finding
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	line  int
+	rules map[string]bool
+}
+
+// Reportf records a finding at the node's position unless an ignore
+// comment on the same or preceding line silences this rule.
+func (p *Pass) Reportf(n ast.Node, format string, args ...any) {
+	pos := p.Fset.Position(n.Pos())
+	for _, s := range p.suppress[pos.Filename] {
+		if (s.line == pos.Line || s.line == pos.Line-1) && s.rules[p.analyzer.ID] {
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{Pos: pos, Rule: p.analyzer.ID, Msg: fmt.Sprintf(format, args...)})
+}
+
+// InScope reports whether the pass's package path ends in one of the
+// given path suffixes. Fixture passes are always in scope, so rule
+// fixtures exercise path-scoped analyzers without fake module layouts.
+func (p *Pass) InScope(suffixes ...string) bool {
+	if p.Fixture {
+		return true
+	}
+	for _, s := range suffixes {
+		if p.PkgPath == s || strings.HasSuffix(p.PkgPath, "/"+s) || strings.HasPrefix(p.PkgPath, s+"/") ||
+			strings.Contains(p.PkgPath, "/"+s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full analyzer suite in catalogue order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		analyzerWallClock,
+		analyzerGuardedLog,
+		analyzerGuardedField,
+		analyzerSentinelErr,
+		analyzerMapOrder,
+		analyzerMetricKey,
+		analyzerCtxFirst,
+		analyzerGoroutine,
+	}
+}
+
+// Run applies the analyzers to one loaded package and returns the
+// surviving findings (suppressions applied), sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	suppress, bad := parseSuppressions(pkg.Fset, pkg.Files)
+	findings = append(findings, bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			PkgPath:  pkg.Path,
+			Pkg:      pkg.Types,
+			Files:    pkg.Files,
+			Info:     pkg.Info,
+			Fixture:  pkg.Fixture,
+			analyzer: a,
+			suppress: suppress,
+			findings: &findings,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// parseSuppressions collects //lint:ignore comments per file. Malformed
+// suppressions (no rule ID, or no reason) are findings themselves:
+// a silencer that does not say what and why it silences is a trap.
+func parseSuppressions(fset *token.FileSet, files []*ast.File) (map[string][]suppression, []Finding) {
+	suppress := map[string][]suppression{}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				var rules map[string]bool
+				var reason []string
+				for i, w := range fields {
+					if strings.HasPrefix(w, "LT-") || strings.HasPrefix(w, "SR-") {
+						if rules == nil {
+							rules = map[string]bool{}
+						}
+						rules[w] = true
+						continue
+					}
+					reason = fields[i:]
+					break
+				}
+				if len(rules) == 0 || len(reason) == 0 {
+					bad = append(bad, Finding{Pos: pos, Rule: RuleBadIgnore,
+						Msg: "malformed suppression: want //lint:ignore <RULE-ID>... <reason>"})
+					continue
+				}
+				suppress[pos.Filename] = append(suppress[pos.Filename], suppression{line: pos.Line, rules: rules})
+			}
+		}
+	}
+	return suppress, bad
+}
+
+// hasDirective reports whether any comment in the file is exactly the
+// given //pimflow: directive (directive comments have no space after
+// the slashes and never render in godoc, so prose mentioning a marker
+// cannot accidentally arm it).
+func hasDirective(f *ast.File, directive string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// docHasDirective reports whether a declaration's doc comment carries
+// the given //pimflow: directive line.
+func docHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// objectOf resolves the type-checker object an identifier uses or
+// defines, or nil when the ident resolves to neither.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isPkgFunc reports whether the expression (after unwrapping parens)
+// resolves to the named package-level object.
+func isPkgFunc(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := objectOf(info, e)
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+	case *ast.SelectorExpr:
+		obj := objectOf(info, e.Sel)
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+	}
+	return false
+}
+
+// namedType unwraps pointers and aliases down to a *types.Named, or nil.
+func namedType(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// funcIndex maps syntax positions to their innermost enclosing function
+// declaration. Analyzers that need "which function am I in" build it
+// once per file.
+type funcIndex struct {
+	decls []*ast.FuncDecl
+}
+
+func indexFuncs(f *ast.File) *funcIndex {
+	idx := &funcIndex{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			idx.decls = append(idx.decls, fd)
+		}
+	}
+	return idx
+}
+
+// funcFor returns the top-level function declaration containing pos,
+// or nil for package-level positions. Function literals belong to
+// their enclosing declaration — an annotation on a function covers the
+// closures written inside it.
+func (idx *funcIndex) funcFor(pos token.Pos) *ast.FuncDecl {
+	for _, fd := range idx.decls {
+		if fd.Pos() <= pos && pos < fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One loader per test binary: stdlib source type-checking is the
+// expensive part, and the memoized package cache makes every
+// subsequent fixture cheap.
+var (
+	loaderOnce sync.Once
+	testLoader *Loader
+	loaderErr  error
+)
+
+func getLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		testLoader, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return testLoader
+}
+
+var wantRx = regexp.MustCompile(`// want ((?:[A-Z][A-Z0-9]*-[A-Z0-9-]+\s*)+)`)
+
+// parseWants scans fixture sources for "// want RULE-ID" markers and
+// returns them as "file:line:RULE" strings.
+func parseWants(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRx.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, rule := range strings.Fields(m[1]) {
+				wants = append(wants, fmt.Sprintf("%s:%d:%s", e.Name(), i+1, rule))
+			}
+		}
+	}
+	sort.Strings(wants)
+	return wants
+}
+
+func findingKeys(findings []Finding) []string {
+	keys := make([]string, 0, len(findings))
+	for _, f := range findings {
+		keys = append(keys, fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestFixtures runs each analyzer over its failing fixture and checks
+// the findings against the // want markers — every LT-* rule must
+// prove it fires, and must not fire anywhere unmarked.
+func TestFixtures(t *testing.T) {
+	analyzers := map[string]*Analyzer{}
+	for _, a := range All() {
+		analyzers[a.ID] = a
+	}
+	cases := []struct {
+		dir  string
+		rule string
+	}{
+		{"wallclock", RuleWallClock},
+		{"guardedlog", RuleGuardedLog},
+		{"guardedfield", RuleGuardedField},
+		{"sentinel", RuleSentinelErr},
+		{"maporder", RuleMapOrder},
+		{"metrickey", RuleMetricKey},
+		{"ctxfirst", RuleCtxFirst},
+		{"goroutine", RuleGoroutine},
+	}
+	if len(cases) != len(All()) {
+		t.Fatalf("fixture cases cover %d analyzers, suite has %d", len(cases), len(All()))
+	}
+	l := getLoader(t)
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			a := analyzers[tc.rule]
+			if a == nil {
+				t.Fatalf("no analyzer registered for %s", tc.rule)
+			}
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pkg, err := l.LoadFixture(dir, "fixture/"+tc.dir)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			got := findingKeys(Run(pkg, []*Analyzer{a}))
+			want := parseWants(t, dir)
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no // want markers; it cannot prove %s fires", tc.dir, tc.rule)
+			}
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// TestSelfClean runs the full suite over its own package: the
+// framework must hold itself to its rules.
+func TestSelfClean(t *testing.T) {
+	l := getLoader(t)
+	pkg, err := l.Load(l.Module + "/internal/lint")
+	if err != nil {
+		t.Fatalf("load self: %v", err)
+	}
+	if findings := Run(pkg, All()); len(findings) != 0 {
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestMalformedSuppression checks that an ignore comment without a
+// rule ID or without a reason is itself reported (LT-IGNORE), and that
+// well-formed multi-rule suppressions parse.
+func TestMalformedSuppression(t *testing.T) {
+	src := `package p
+
+//lint:ignore LT-WALLCLOCK
+var a int
+
+//lint:ignore this has no rule id
+var b int
+
+//lint:ignore LT-WALLCLOCK LT-MAP-ORDER shared scratch loop
+var c int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "suppress.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suppress, bad := parseSuppressions(fset, []*ast.File{f})
+	if len(bad) != 2 {
+		t.Fatalf("want 2 malformed-suppression findings, got %d: %v", len(bad), bad)
+	}
+	for _, b := range bad {
+		if b.Rule != RuleBadIgnore {
+			t.Errorf("malformed suppression reported as %s, want %s", b.Rule, RuleBadIgnore)
+		}
+	}
+	ss := suppress["suppress.go"]
+	if len(ss) != 1 {
+		t.Fatalf("want 1 parsed suppression, got %d", len(ss))
+	}
+	if !ss[0].rules["LT-WALLCLOCK"] || !ss[0].rules["LT-MAP-ORDER"] {
+		t.Errorf("multi-rule suppression parsed as %v", ss[0].rules)
+	}
+}
+
+// TestRulesCatalogue checks IDs are unique and documented.
+func TestRulesCatalogue(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Rules() {
+		if seen[r.ID] {
+			t.Errorf("duplicate rule ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if !strings.HasPrefix(r.ID, "LT-") {
+			t.Errorf("rule ID %s is not LT-prefixed", r.ID)
+		}
+		if r.Doc == "" {
+			t.Errorf("rule %s has no doc", r.ID)
+		}
+	}
+	if len(All()) < 8 {
+		t.Fatalf("suite has %d analyzers, want >= 8", len(All()))
+	}
+}
+
+// TestDiscoverSkipsNonSource checks the module walk ignores testdata,
+// hidden directories, and generated files.
+func TestDiscoverSkipsNonSource(t *testing.T) {
+	l := getLoader(t)
+	paths, err := l.discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("discover found no packages")
+	}
+	foundSelf := false
+	for _, p := range paths {
+		if strings.Contains(p, "/testdata") || strings.Contains(p, "/.") {
+			t.Errorf("discover leaked excluded path %s", p)
+		}
+		if p == l.Module+"/internal/lint" {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Errorf("discover missed internal/lint; got %d paths", len(paths))
+	}
+}
+
+// TestSkipGenerated checks the generated-file convention is honored.
+func TestSkipGenerated(t *testing.T) {
+	gen := []byte("// Code generated by fixturegen. DO NOT EDIT.\n\npackage p\n")
+	if !skipSource(gen) {
+		t.Error("generated header not skipped")
+	}
+	mention := []byte("package p\n\n// The phrase Code generated by tools. DO NOT EDIT. in a body comment is fine.\nvar x int\n")
+	if skipSource(mention) {
+		t.Error("mention after package clause wrongly skipped")
+	}
+	ignored := []byte("//go:build ignore\n\npackage p\n")
+	if !skipSource(ignored) {
+		t.Error("build-ignored file not skipped")
+	}
+}
+
+// TestFixturePathCollision checks fixtures cannot shadow real module
+// packages in the loader cache.
+func TestFixturePathCollision(t *testing.T) {
+	l := getLoader(t)
+	if _, err := l.LoadFixture("testdata/src/sentinel", l.Module+"/internal/obs"); err == nil {
+		t.Fatal("fixture with module-colliding import path was accepted")
+	}
+}

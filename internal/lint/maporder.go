@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerMapOrder implements LT-MAP-ORDER. A function whose doc
+// comment carries the //pimflow:deterministic directive promises
+// byte-identical behavior across runs (trace replay, batch flush
+// ordering, report assembly) — and Go randomizes map iteration order
+// precisely to surface code that forgets this. Inside such a function
+// (closures included) every range over a map is flagged; iterate a
+// sorted key slice instead, or suppress with a reason when the loop is
+// provably order-insensitive (pure counting, building another map).
+var analyzerMapOrder = &Analyzer{
+	ID:  RuleMapOrder,
+	Doc: "no map iteration inside //pimflow:deterministic functions",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !docHasDirective(fd.Doc, "//pimflow:deterministic") {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					t := p.Info.Types[rs.X].Type
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						p.Reportf(rs, "map iteration in deterministic function %s: range order is randomized; iterate sorted keys", fd.Name.Name)
+					}
+					return true
+				})
+			}
+		}
+	},
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerSentinelErr implements LT-SENTINEL-ERR. Request-outcome
+// classification (serve's lifecycle, HTTP status mapping, load-report
+// accounting) depends on errors.Is chains: completion paths wrap
+// sentinels with %w to carry context, so an identity comparison
+// ("err == serve.ErrShed") silently misclassifies wrapped errors. The
+// rule bans == and != against any package-level error variable, in
+// binary expressions and switch cases alike; nil comparisons remain
+// legal. Repo-wide.
+var analyzerSentinelErr = &Analyzer{
+	ID:  RuleSentinelErr,
+	Doc: "sentinel errors are matched with errors.Is, never == or !=",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if sentinelError(p.Info, n.X) != nil || sentinelError(p.Info, n.Y) != nil {
+						p.Reportf(n, "sentinel error compared with %s; use errors.Is so wrapped errors still match", n.Op)
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						return true
+					}
+					for _, cs := range n.Body.List {
+						cc, ok := cs.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							if v := sentinelError(p.Info, e); v != nil {
+								p.Reportf(e, "switch case compares sentinel error %s by identity; use errors.Is so wrapped errors still match", v.Name())
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// sentinelError returns the package-level error variable the expression
+// refers to, or nil. Locals and nil literals don't count.
+func sentinelError(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return v
+}

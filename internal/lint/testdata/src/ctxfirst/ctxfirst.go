@@ -1,0 +1,27 @@
+// Package fixture exercises LT-CTX-FIRST: context.Context parameters
+// come first.
+package fixture
+
+import "context"
+
+func buried(name string, ctx context.Context) error { // want LT-CTX-FIRST
+	return ctx.Err()
+}
+
+func inLiteral() {
+	f := func(n int, ctx context.Context) { // want LT-CTX-FIRST
+		_ = ctx
+	}
+	f(1, context.Background())
+}
+
+func first(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+func noContext(a, b int) int { return a + b }
+
+type svc struct{}
+
+// Methods count the receiver separately: ctx first among parameters.
+func (svc) call(ctx context.Context, payload []byte) error { return ctx.Err() }

@@ -1,0 +1,37 @@
+// Package fixture exercises LT-GOROUTINE: goroutines must be tracked
+// by a sync.WaitGroup so graceful drain can observe them.
+package fixture
+
+import "sync"
+
+func work() {}
+
+func leak() {
+	go work() // want LT-GOROUTINE
+}
+
+func leakLiteral(ch chan int) {
+	go func() { // want LT-GOROUTINE
+		ch <- 1
+	}()
+}
+
+func tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func trackedNamed(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go work() // Add immediately precedes: tracked by convention
+}
+
+func shutdownNotifier(wg *sync.WaitGroup, done chan struct{}) {
+	go func() {
+		wg.Wait() // body joins the group: the drain path sees it
+		close(done)
+	}()
+}

@@ -1,0 +1,53 @@
+// Package fixture exercises LT-GUARDED-FIELD: fields annotated
+// "guarded by <mu>" may only be touched under that mutex or inside
+// *Locked functions.
+package fixture
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hot is documented above the field instead of beside it.
+	// guarded by mu
+	hot  bool
+	free int // unguarded fields stay unchecked
+}
+
+func (b *box) bad() int {
+	return b.n // want LT-GUARDED-FIELD
+}
+
+func (b *box) badWrite(v bool) {
+	b.hot = v // want LT-GUARDED-FIELD
+}
+
+func (b *box) good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) readLocked() int {
+	return b.n // *Locked naming inherits the caller's lock
+}
+
+func (b *box) unguardedField() int {
+	return b.free
+}
+
+func newBox() *box {
+	return &box{n: 1, hot: true} // construction before escape needs no lock
+}
+
+type wrapper struct {
+	wmu sync.RWMutex
+	b   box
+}
+
+func (w *wrapper) readThrough() int {
+	w.wmu.RLock()
+	defer w.wmu.RUnlock()
+	// Wrong mutex: the annotation names b's mu, not the wrapper's wmu.
+	return w.b.n // want LT-GUARDED-FIELD
+}

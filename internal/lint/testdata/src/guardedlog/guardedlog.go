@@ -1,0 +1,44 @@
+// Package fixture exercises LT-GUARDED-LOG: slog emissions must sit
+// inside an Enabled() guard, and the check is type-resolved so alias
+// tricks and method values do not escape it.
+package fixture
+
+import (
+	"log/slog"
+
+	renamed "log/slog"
+)
+
+type gate struct{}
+
+func (gate) Enabled() bool { return false }
+
+var logger = slog.Default()
+
+func direct() {
+	logger.Info("unguarded") // want LT-GUARDED-LOG
+}
+
+func aliasedPackage() {
+	renamed.Warn("unguarded package-level emit") // want LT-GUARDED-LOG
+}
+
+func rebound() {
+	l := logger
+	l.Error("receiver alias does not hide the type") // want LT-GUARDED-LOG
+}
+
+func methodValue() func(string, ...any) {
+	return logger.Debug // want LT-GUARDED-LOG
+}
+
+func guarded(g gate) {
+	if g.Enabled() {
+		logger.Info("guarded emit is fine")
+		logger.With("k", "v").Warn("still inside the guard")
+	}
+}
+
+func cheapPlumbing() *slog.Logger {
+	return logger.With("component", "fixture") // With is not an emission
+}

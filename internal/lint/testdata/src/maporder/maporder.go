@@ -1,0 +1,53 @@
+// Package fixture exercises LT-MAP-ORDER: functions that promise
+// determinism via the //pimflow:deterministic directive may not
+// iterate maps directly.
+package fixture
+
+import "sort"
+
+// sum ranges a map inside a deterministic function.
+//
+//pimflow:deterministic
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want LT-MAP-ORDER
+		s += v
+	}
+	return s
+}
+
+// closureInherits shows that function literals inside a deterministic
+// declaration inherit the contract.
+//
+//pimflow:deterministic
+func closureInherits(m map[string]int) func() int {
+	return func() int {
+		n := 0
+		for range m { // want LT-MAP-ORDER
+			n++
+		}
+		return n
+	}
+}
+
+// sortedKeys does it right: collect, sort, then iterate the slice.
+//
+//pimflow:deterministic
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:ignore LT-MAP-ORDER keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unannotated functions may iterate maps freely.
+func unannotated(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises LT-SENTINEL-ERR: sentinel errors are
+// matched with errors.Is, never compared by identity.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errBoom = errors.New("boom")
+
+func identity(err error) bool {
+	return err == errBoom // want LT-SENTINEL-ERR
+}
+
+func negated(err error) bool {
+	return errBoom != err // want LT-SENTINEL-ERR
+}
+
+func importedSentinel(err error) bool {
+	return err == io.EOF // want LT-SENTINEL-ERR
+}
+
+func switched(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case errBoom: // want LT-SENTINEL-ERR
+		return "boom"
+	}
+	return "other"
+}
+
+func viaIs(err error) bool {
+	return errors.Is(err, errBoom)
+}
+
+func nilChecksAreFine(err error) bool {
+	return err == nil
+}
+
+func localsAreFine(err error) bool {
+	local := fmt.Errorf("wrapped: %w", errBoom)
+	return err == local
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "time"
+
+// This file has no //pimflow:virtual-time directive, so wall-clock
+// reads here are legal: the rule is armed per file, not per package.
+func wallTimeAllowedHere() time.Time {
+	return time.Now()
+}

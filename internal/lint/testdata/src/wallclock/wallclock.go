@@ -1,0 +1,36 @@
+// Package fixture exercises LT-WALLCLOCK: this file carries the
+// virtual-time directive, so every host-clock read below must fire.
+//
+//pimflow:virtual-time
+package fixture
+
+import (
+	"time"
+
+	tt "time"
+)
+
+func direct() int64 {
+	return time.Now().UnixNano() // want LT-WALLCLOCK
+}
+
+func aliasedImport() {
+	tt.Sleep(time.Millisecond) // want LT-WALLCLOCK
+}
+
+func methodValue() func() time.Time {
+	return time.Now // want LT-WALLCLOCK
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want LT-WALLCLOCK
+}
+
+func durationsAreFine(cycles int64) time.Duration {
+	return time.Duration(cycles) * time.Microsecond
+}
+
+func suppressed() time.Time {
+	//lint:ignore LT-WALLCLOCK fixture proves suppression comments work
+	return time.Now()
+}

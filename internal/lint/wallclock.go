@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// bannedClock lists the time-package functions that read or schedule
+// against the host clock. time.Duration arithmetic and constants stay
+// legal — only the wall-clock sources are banned.
+var bannedClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// analyzerWallClock implements LT-WALLCLOCK. The simulation core
+// (internal/pim, internal/runtime, internal/codegen) models virtual
+// cycles, and any file elsewhere carrying a //pimflow:virtual-time
+// directive (the serve scheduler and SLO policy) claims the same:
+// results must be a pure function of inputs, so reading the host clock
+// there destroys reproducibility. The check is type-resolved — aliased
+// imports ("t \"time\"; t.Now()") and method-value bindings
+// ("f := time.Now") are caught, unlike a syntactic ident match.
+// internal/obs is exempt: wall timestamps are its job.
+var analyzerWallClock = &Analyzer{
+	ID:  RuleWallClock,
+	Doc: "no host-clock reads (time.Now/Sleep/timers) on virtual-time paths",
+	Run: func(p *Pass) {
+		if p.InScope("internal/obs") && !p.Fixture {
+			return
+		}
+		// In fixture passes only the file directive arms the rule, so
+		// fixtures can prove directive gating both ways.
+		pkgScoped := !p.Fixture && p.InScope("internal/pim", "internal/runtime", "internal/codegen")
+		for _, f := range p.Files {
+			if !pkgScoped && !hasDirective(f, "//pimflow:virtual-time") {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || !bannedClock[id.Name] {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+					return true
+				}
+				p.Reportf(id, "virtual-time path reads host clock via time.%s; derive timing from simulated cycles", id.Name)
+				return true
+			})
+		}
+	},
+}

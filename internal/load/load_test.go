@@ -43,7 +43,9 @@ func newScenarioServer(t testing.TB, sc Scenario) *serve.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := serve.NewServer(serve.Config{QueueDepth: sc.QueueDepth, Admission: adm})
+	// Certify: every Replay in this suite must also produce a schedule
+	// certificate that passes the SR-* rules.
+	srv, err := serve.NewServer(serve.Config{QueueDepth: sc.QueueDepth, Admission: adm, Certify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,6 +190,57 @@ func TestReplayDeterministic(t *testing.T) {
 	}
 }
 
+// Regression: when a shed decision ties — open requests from two
+// different models with the same arrival cycle and identical SLO/
+// service estimates — the victim used to depend on map iteration order
+// (openInOrder collected candidates by ranging the open-batch map and
+// an unstable sort kept equal-cycle entries in collection order), so
+// identical replays could shed different requests and report different
+// batch compositions. The candidate order is now fixed (sorted models,
+// stable sort), so repeated replays of this hand-built tie must agree.
+func TestReplayShedTieDeterministic(t *testing.T) {
+	sc := Scenario{
+		Name:       "shed-tie",
+		QueueDepth: 2,
+		Admission:  "shed-oldest",
+		Models: []ModelLoad{
+			{Name: "tie-a", Model: "toy", Policy: "PIMFlow", TotalChannels: 16, PIMChannels: 8,
+				MaxBatch: 4, WindowCycles: 1_000_000},
+			{Name: "tie-b", Model: "toy", Policy: "PIMFlow", TotalChannels: 16, PIMChannels: 8,
+				MaxBatch: 4, WindowCycles: 1_000_000},
+		},
+	}
+	// Two equal-cycle arrivals on different models fill the queue; the
+	// third forces a shed among perfectly tied candidates. Which model
+	// loses a request changes batch sizes (a 2-batch pays an initiation
+	// interval its members' solo runs would not), so any flicker in the
+	// victim shows up in the report.
+	reqs := []Request{
+		{Model: "tie-a", Cycle: 100},
+		{Model: "tie-b", Cycle: 100},
+		{Model: "tie-a", Cycle: 150},
+	}
+	var first Report
+	for i := 0; i < 12; i++ {
+		srv := newScenarioServer(t, sc)
+		rep, err := Replay(srv, sc, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := stripWall(rep)
+		if got.Shed != 1 || got.Served != 2 {
+			t.Fatalf("tie setup broken: want 2 served / 1 shed, got %+v", got)
+		}
+		if i == 0 {
+			first = got
+			continue
+		}
+		if !reportsEqual(first, got) {
+			t.Fatalf("replay %d shed a different victim:\n%+v\n%+v", i, first, got)
+		}
+	}
+}
+
 // Rejection policy is also deterministic and accounts every request.
 func TestReplayRejectPolicy(t *testing.T) {
 	sc := toyScenario(3, 2000, "poisson")
@@ -295,6 +348,27 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if rep.Served == 0 || rep.ReqPerSec <= 0 {
 		t.Fatalf("run report: %+v", rep)
+	}
+}
+
+// RunOptions.Certify threads schedule-certificate recording through the
+// one-call harness: the report carries the certification summary, and a
+// run without the option stays uncertified (nothing recorded).
+func TestRunCertify(t *testing.T) {
+	sc := toyScenario(11, 600, "poisson")
+	rep, err := RunWithOptions(sc, RunOptions{Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Certified || rep.CertifiedLeases == 0 {
+		t.Fatalf("certified replay not reported: certified=%v leases=%d", rep.Certified, rep.CertifiedLeases)
+	}
+	plain, err := RunWithOptions(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Certified || plain.CertifiedLeases != 0 {
+		t.Fatalf("uncertified replay claims certification: %+v", plain)
 	}
 }
 

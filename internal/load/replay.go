@@ -13,6 +13,7 @@ import (
 
 	"pimflow/internal/obs"
 	"pimflow/internal/serve"
+	"pimflow/internal/verify"
 )
 
 // ClassStats is the per-SLO-class slice of a replay report.
@@ -57,6 +58,12 @@ type Report struct {
 
 	Classes map[string]ClassStats `json:"classes,omitempty"`
 
+	// Certified reports a schedule certificate checked clean against the
+	// SR-* rules (set when the server ran with serve.Config.Certify);
+	// CertifiedLeases is the number of leases the certificate covered.
+	Certified       bool `json:"certified,omitempty"`
+	CertifiedLeases int  `json:"certifiedLeases,omitempty"`
+
 	WallSeconds float64 `json:"wallSeconds"`
 	ReqPerSec   float64 `json:"reqPerSec"`
 }
@@ -96,6 +103,20 @@ type latRec struct {
 	id     string
 	model  string
 	stages serve.StageCycles
+}
+
+// sortedModels returns the map's keys in sorted order, so callers can
+// iterate string-keyed maps deterministically.
+//
+//pimflow:deterministic
+func sortedModels[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	//lint:ignore LT-MAP-ORDER keys are sorted before the caller iterates them
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func recOf(resp *serve.InferResponse) latRec {
@@ -188,6 +209,8 @@ func (h endHeap) peek() (int64, bool) {
 // future — and hands each formed batch to Server.InferBatch, which runs
 // the live path's placement, deadline, and SLO machinery synchronously.
 // Identical scenario, identical report (modulo wall-clock fields).
+//
+//pimflow:deterministic
 func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 	sc = sc.withDefaults()
 	shed := sc.Admission == "shed-oldest" || sc.Admission == "shed"
@@ -271,17 +294,18 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 	}
 
 	// flushDue flushes, in deterministic (flushCycle, model) order, every
-	// open batch whose virtual window the clock has passed.
+	// open batch whose virtual window the clock has passed. Models are
+	// visited in sorted order and the minimum is strict, so ties resolve
+	// by name without consulting map iteration order.
 	flushDue := func(now int64) error {
 		for {
 			var dueModel string
 			var due *virtualBatch
-			for m, vb := range open {
-				if vb.flushCycle > 0 && now > vb.flushCycle {
-					if due == nil || vb.flushCycle < due.flushCycle ||
-						(vb.flushCycle == due.flushCycle && m < dueModel) {
-						dueModel, due = m, vb
-					}
+			for _, m := range sortedModels(open) {
+				vb := open[m]
+				if vb.flushCycle > 0 && now > vb.flushCycle &&
+					(due == nil || vb.flushCycle < due.flushCycle) {
+					dueModel, due = m, vb
 				}
 			}
 			if due == nil {
@@ -295,6 +319,7 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 
 	occupancy := func() int {
 		n := len(inFlight)
+		//lint:ignore LT-MAP-ORDER pure count; the sum is order-insensitive
 		for _, vb := range open {
 			for _, p := range vb.items {
 				if !p.shed {
@@ -306,17 +331,21 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 	}
 
 	// openInOrder lists the open (unflushed, unshed) requests oldest
-	// first — the candidate order PickShedVictim expects.
+	// first — the candidate order PickShedVictim expects. Collection
+	// walks models in sorted order and the sort is stable, so requests
+	// arriving on the same cycle from different models keep one fixed
+	// order: an unstable sort over map-ordered candidates let equal-cycle
+	// ties land on a different shed victim run to run.
 	openInOrder := func() []*pendingReq {
 		var ps []*pendingReq
-		for _, vb := range open {
-			for _, p := range vb.items {
+		for _, m := range sortedModels(open) {
+			for _, p := range open[m].items {
 				if !p.shed {
 					ps = append(ps, p)
 				}
 			}
 		}
-		sort.Slice(ps, func(i, j int) bool { return ps[i].req.Cycle < ps[j].req.Cycle })
+		sort.SliceStable(ps, func(i, j int) bool { return ps[i].req.Cycle < ps[j].req.Cycle })
 		return ps
 	}
 
@@ -378,16 +407,14 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 			}
 		}
 	}
-	// Trailing batches flush in deterministic order.
+	// Trailing batches flush in deterministic (headCycle, model) order:
+	// sorted model visit plus strict minimum resolves ties by name.
 	for {
 		var m string
 		var vb *virtualBatch
-		for om, ovb := range open {
-			head := int64(-1)
-			if len(ovb.items) > 0 {
-				head = ovb.items[0].req.Cycle
-			}
-			if vb == nil || head < headCycle(vb) || (head == headCycle(vb) && om < m) {
+		for _, om := range sortedModels(open) {
+			ovb := open[om]
+			if vb == nil || headCycle(ovb) < headCycle(vb) {
 				m, vb = om, ovb
 			}
 		}
@@ -401,7 +428,28 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 
 	rep.WallSeconds = time.Since(started).Seconds()
 	finishReport(rep, lat, classLat, batchSum, makespan)
+	if err := certify(srv, rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// certify checks the server's schedule certificate against the SR-*
+// rules when the server is recording one (serve.Config.Certify). A
+// replay whose schedule fails verification is not a result — it is a
+// scheduler bug — so the whole run errors.
+func certify(srv *serve.Server, rep *Report) error {
+	if !srv.Certifying() {
+		return nil
+	}
+	cert := srv.Certificate()
+	if diags := verify.Schedule(cert); len(diags) > 0 {
+		return fmt.Errorf("load: schedule certificate (%d leases, %d requests): %w",
+			len(cert.Leases), len(cert.Requests), verify.AsError(diags))
+	}
+	rep.Certified = true
+	rep.CertifiedLeases = len(cert.Leases)
+	return nil
 }
 
 // attributedAt returns the stage split of the request at the q-quantile
@@ -421,6 +469,8 @@ func attributedAt(sorted []latRec, q float64) AttributedRequest {
 }
 
 // stageStats computes each stage's independent distribution.
+//
+//pimflow:deterministic
 func stageStats(recs []latRec) map[string]StageStats {
 	cols := map[string][]int64{}
 	for _, r := range recs {
@@ -430,7 +480,8 @@ func stageStats(recs []latRec) map[string]StageStats {
 		cols["execute"] = append(cols["execute"], r.stages.Execute)
 	}
 	out := make(map[string]StageStats, len(cols))
-	for name, vals := range cols {
+	for _, name := range sortedModels(cols) {
+		vals := cols[name]
 		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 		var sum int64
 		for _, v := range vals {
@@ -456,6 +507,8 @@ func headCycle(vb *virtualBatch) int64 {
 
 // finishReport folds the collected latencies into percentiles, the
 // per-stage distributions, and the attributed percentile splits.
+//
+//pimflow:deterministic
 func finishReport(rep *Report, recs []latRec, classLat map[string][]int64, batchSum, makespan int64) {
 	// Ties break on request ID (deterministic in single-threaded replay),
 	// then stably on append order.
@@ -488,7 +541,8 @@ func finishReport(rep *Report, recs []latRec, classLat map[string][]int64, batch
 		}
 	}
 	rep.MakespanCycles = makespan
-	for cls, ls := range classLat {
+	for _, cls := range sortedModels(classLat) {
+		ls := classLat[cls]
 		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 		cs := rep.Classes[cls]
 		cs.P50 = percentile(ls, 0.50)
@@ -613,6 +667,10 @@ type RunOptions struct {
 	// carries the GPU/PIM timeline, not just lease arithmetic); the
 	// scenario's Execute flag turns it on too.
 	Execute bool
+	// Certify turns on schedule-certificate recording: the replay fails
+	// unless the executed schedule passes every SR-* rule, and the report
+	// carries the certification summary (Certified, CertifiedLeases).
+	Certify bool
 }
 
 // RunWithOptions is Run with a shared trace and request-lifecycle
@@ -632,6 +690,7 @@ func RunWithOptions(sc Scenario, opts RunOptions) (*Report, error) {
 		Admission:  adm,
 		Trace:      opts.Trace,
 		RequestLog: opts.RequestLog,
+		Certify:    opts.Certify,
 	})
 	if err != nil {
 		return nil, err

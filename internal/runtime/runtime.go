@@ -417,7 +417,7 @@ func recordPIMNodeMetrics(m *obs.Metrics, prof profcache.Profile) {
 	m.Add("pim.gwrite_bursts", c.GWBursts)
 	m.Add("pim.readres_bursts", c.RRBursts)
 	for ch, busy := range prof.PerChannelBusy {
-		m.Add(fmt.Sprintf("pim.channel_busy_cycles[%02d]", ch), busy)
+		m.Add(obs.LabeledKey("pim.channel_busy_cycles", "channel", fmt.Sprintf("%02d", ch)), busy)
 		if prof.Cycles > 0 {
 			m.Observe("pim.channel_utilization", float64(busy)/float64(prof.Cycles))
 		}

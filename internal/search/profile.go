@@ -82,7 +82,7 @@ func (p *profiler) beginProbe(layer, kind string, ratio float64) func(outcome st
 	if !p.trace.Enabled() {
 		return func(outcome string, _ int64, _ error) {
 			if outcome != "" {
-				p.metrics.Inc("search.probe_cache_" + outcome)
+				p.metrics.Inc(obs.LabeledKey("search.probe_cache", "outcome", outcome))
 			}
 		}
 	}
@@ -93,7 +93,7 @@ func (p *profiler) beginProbe(layer, kind string, ratio float64) func(outcome st
 	end := p.trace.Span("probe", layer+"/"+kind, "search.probe", args)
 	return func(outcome string, cycles int64, err error) {
 		if outcome != "" {
-			p.metrics.Inc("search.probe_cache_" + outcome)
+			p.metrics.Inc(obs.LabeledKey("search.probe_cache", "outcome", outcome))
 		}
 		extra := map[string]any{}
 		if outcome != "" {

@@ -139,7 +139,7 @@ func (s *Server) flush(pend map[string]*pendingBatch, p *pendingBatch, why strin
 	if len(p.items) == 0 {
 		return
 	}
-	s.cfg.Metrics.Inc("serve.batch_flush." + why)
+	s.cfg.Metrics.Inc(obs.LabeledKey("serve.batch_flush", "why", why))
 	s.cfg.Metrics.Set("serve.batch_pending", float64(pendingCount(pend)))
 	if p.items[0].lc != nil {
 		now := time.Now()
@@ -183,6 +183,8 @@ func (s *Server) flushWindowless(pend map[string]*pendingBatch) {
 }
 
 // flushAll flushes every pending batch (drain or explicit flush).
+//
+//pimflow:deterministic
 func (s *Server) flushAll(pend map[string]*pendingBatch) {
 	for _, p := range sortedPending(pend) {
 		s.flush(pend, p, "drain")
@@ -191,8 +193,11 @@ func (s *Server) flushAll(pend map[string]*pendingBatch) {
 
 // sortedPending returns the pending batches in deterministic order:
 // by virtual head arrival, then flush cycle, then model name.
+//
+//pimflow:deterministic
 func sortedPending(pend map[string]*pendingBatch) []*pendingBatch {
 	out := make([]*pendingBatch, 0, len(pend))
+	//lint:ignore LT-MAP-ORDER the sort below totally orders (headArrival, flushCycle, model)
 	for _, p := range pend {
 		out = append(out, p)
 	}

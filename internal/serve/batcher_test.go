@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"pimflow/internal/obs"
 )
 
 // Shutdown must never wait out an open batch window: a pending batch
@@ -253,7 +255,7 @@ func TestServerSLOMissAccounting(t *testing.T) {
 	if got := s.Metrics().Counter("serve.slo_miss"); got != 1 {
 		t.Fatalf("serve.slo_miss %d", got)
 	}
-	if got := s.Metrics().Counter("serve.slo_miss.gold"); got != 1 {
+	if got := s.Metrics().Counter(obs.LabeledKey("serve.slo_miss", "class", "gold")); got != 1 {
 		t.Fatalf("serve.slo_miss.gold %d", got)
 	}
 	// Unknown classes fail the load up front.

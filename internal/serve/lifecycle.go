@@ -130,9 +130,9 @@ type Lifecycle struct {
 	ids atomic.Uint64
 
 	mu    sync.Mutex
-	buf   []RequestSpan
-	next  int
-	total uint64
+	buf   []RequestSpan // guarded by mu
+	next  int           // guarded by mu
+	total uint64        // guarded by mu
 }
 
 // newLifecycle sizes the ring; n <= 0 returns nil (tracking off).

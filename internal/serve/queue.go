@@ -117,10 +117,10 @@ func (it *item) candidate() ShedCandidate {
 // poppable after Close so workers can drain them).
 type queue struct {
 	mu     sync.Mutex
-	items  []*item
+	items  []*item // guarded by mu
 	max    int
 	policy AdmissionPolicy
-	closed bool
+	closed bool // guarded by mu
 
 	notEmpty chan struct{} // single-slot wakeup for waiting workers
 	space    chan struct{} // single-slot wakeup for blocked submitters

@@ -129,8 +129,8 @@ type Registry struct {
 	defaults ServingDefaults
 
 	mu       sync.Mutex
-	models   map[string]*LoadedModel
-	inflight map[string]*loadFlight
+	models   map[string]*LoadedModel // guarded by mu
+	inflight map[string]*loadFlight  // guarded by mu
 }
 
 type loadFlight struct {

@@ -1,3 +1,8 @@
+// The scheduler models the machine's timeline purely in simulated
+// cycles; host-clock reads here would couple placement to wall time.
+//
+//pimflow:virtual-time
+
 package serve
 
 import (
@@ -70,25 +75,38 @@ type leaseRec struct {
 // requests queue. The scheduler only does bookkeeping; the actual
 // simulated execution is launched by the server at the placed offset.
 //
-// Arrival stamps must be nondecreasing across Place calls: the stamp is
-// also the pruning watermark beyond which completed leases are forgotten.
-// Frontier-stamped live traffic satisfies this by construction; trace
-// replay satisfies it by generating sorted arrivals.
+// Arrival stamps need not be nondecreasing across Place calls: per-model
+// batch windows flush batches out of arrival order, so a held batch can
+// arrive with a stamp older than already-placed work. Completed leases
+// are pruned once the arrival watermark passes them; a stale arrival
+// whose window would fall inside that forgotten history is clamped to
+// the pruned horizon (slightly conservative, never oversubscribed).
 type Scheduler struct {
 	mu      sync.Mutex
 	machine Machine
-	active  []leaseRec
-	nextID  uint64
+	active  []leaseRec // guarded by mu
+	nextID  uint64     // guarded by mu
 	// vfront is the completion frontier: the max end of released leases.
 	// It stamps the virtual arrival of subsequent requests.
-	vfront int64
+	vfront int64 // guarded by mu
 	// watermark is the max arrival stamp seen; released leases ending at
-	// or before it can no longer affect any future placement and are
-	// pruned.
-	watermark int64
-	placed    int64
-	pruned    int64
-	metrics   *obs.Metrics
+	// or before it are pruned.
+	watermark int64 // guarded by mu
+	// horizon is the max end among pruned leases: the machine's busy
+	// history before it has been forgotten, so no new window may open
+	// there. Placements whose arrival predates the horizon (per-model
+	// batch windows flush batches out of arrival order) are clamped to
+	// it — slightly conservative, never oversubscribed.
+	horizon int64 // guarded by mu
+	placed  int64 // guarded by mu
+	pruned  int64 // guarded by mu
+	metrics *obs.Metrics
+	// onRelease, when set, observes every Release (lease id + the frontier
+	// it advanced to). It is invoked under mu, so observations arrive in
+	// release order with monotone frontier stamps — the SR-FRONTIER
+	// invariant the schedule certificate records through this hook. Set
+	// once at construction time, before the scheduler is shared.
+	onRelease func(leaseID uint64, frontier int64)
 }
 
 // NewScheduler returns an empty scheduler over the machine.
@@ -185,14 +203,17 @@ func (s *Scheduler) Place(arrival int64, d Demand, dur int64) (Lease, error) {
 	return l, nil
 }
 
-// pruneLocked drops released leases whose windows can no longer overlap
-// any future placement (arrival stamps are nondecreasing, so anything
-// ending at or before the watermark is history nobody will ask about).
+// pruneLocked drops released leases ending at or before the arrival
+// watermark and advances the horizon past their windows: a later
+// placement with an older arrival (batch windows flush out of arrival
+// order) can no longer be told how busy that history was, so
+// earliestFitLocked refuses to open a window before the horizon.
 func (s *Scheduler) pruneLocked() {
 	kept := s.active[:0]
 	for _, r := range s.active {
 		if r.released && r.End <= s.watermark {
 			s.pruned++
+			s.horizon = num.Max64(s.horizon, r.End)
 			continue
 		}
 		kept = append(kept, r)
@@ -202,8 +223,12 @@ func (s *Scheduler) pruneLocked() {
 
 // earliestFitLocked scans candidate start times — the arrival stamp and
 // every later lease boundary — and returns the first whose whole window
-// keeps both channel groups within capacity.
+// keeps both channel groups within capacity. Arrivals that predate the
+// pruned horizon are clamped to it: the busy history before the horizon
+// has been forgotten, so opening a window there could oversubscribe the
+// machine against leases this scheduler already granted.
 func (s *Scheduler) earliestFitLocked(arrival int64, d Demand, dur int64) int64 {
+	arrival = num.Max64(arrival, s.horizon)
 	cands := []int64{arrival}
 	for i := range s.active {
 		l := &s.active[i]
@@ -267,6 +292,9 @@ func (s *Scheduler) Release(l Lease) {
 		}
 	}
 	s.vfront = num.Max64(s.vfront, l.End)
+	if s.onRelease != nil {
+		s.onRelease(l.id, s.vfront)
+	}
 	s.pruneLocked()
 	s.metrics.Set("serve.leases_active", float64(s.inFlightLocked()))
 	s.metrics.Set("serve.virtual_frontier_cycles", float64(s.vfront))

@@ -155,6 +155,76 @@ func TestSchedulerNeverOvercommits(t *testing.T) {
 	}
 }
 
+// A batch held open by a per-model window flushes with an arrival stamp
+// older than work placed after it. If the newer placement's watermark
+// already pruned completed leases, the stale placement must not open a
+// window inside that forgotten busy history: it is clamped to the pruned
+// horizon instead of silently oversubscribing the machine.
+func TestSchedulerStaleArrivalSeesPrunedHistory(t *testing.T) {
+	s := NewScheduler(Machine{GPUChannels: 16, PIMChannels: 16}, nil)
+	a, err := s.Place(0, Demand{GPU: 8, PIM: 8}, 100) // [0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release(a)
+	// A newer arrival advances the watermark past lease a, pruning it.
+	b, err := s.Place(200, Demand{GPU: 8, PIM: 8}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Release(b)
+	if st := s.Stats(); st.Pruned == 0 {
+		t.Fatal("lease a not pruned; the test no longer exercises the horizon")
+	}
+	// A stale full-machine arrival at 50 would overlap pruned lease a's
+	// window [0, 100) — 24+24 channels on a 16+16 machine. It must be
+	// clamped past the forgotten history.
+	c, err := s.Place(50, Demand{GPU: 16, PIM: 16}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Start < 100 {
+		t.Fatalf("stale arrival placed at %d, inside pruned busy history [0, 100)", c.Start)
+	}
+}
+
+// Property: capacity holds even when out-of-order arrivals interleave
+// with releases, so pruning races ahead of stale placements. Every
+// granted window is checked against every other granted window — the
+// scheduler has forgotten some of them, but physics hasn't.
+func TestSchedulerNeverOvercommitsWithReleases(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := Machine{GPUChannels: 10, PIMChannels: 6}
+	s := NewScheduler(m, nil)
+	var leases []Lease
+	var open []Lease
+	for i := 0; i < 300; i++ {
+		d := Demand{GPU: 1 + rng.Intn(m.GPUChannels), PIM: rng.Intn(m.PIMChannels + 1)}
+		l, err := s.Place(int64(rng.Intn(5000)), d, int64(1+rng.Intn(2000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		leases = append(leases, l)
+		open = append(open, l)
+		for len(open) > 0 && rng.Intn(2) == 0 {
+			s.Release(open[0])
+			open = open[1:]
+		}
+	}
+	for _, probe := range leases {
+		gpu, pim := 0, 0
+		for _, l := range leases {
+			if l.Start <= probe.Start && probe.Start < l.End {
+				gpu += l.Demand.GPU
+				pim += l.Demand.PIM
+			}
+		}
+		if gpu > m.GPUChannels || pim > m.PIMChannels {
+			t.Fatalf("overcommit at cycle %d: %d GPU / %d PIM in use", probe.Start, gpu, pim)
+		}
+	}
+}
+
 func TestSchedulerRejectsOversizedDemand(t *testing.T) {
 	s := NewScheduler(Machine{GPUChannels: 4, PIMChannels: 4}, nil)
 	if _, err := s.Place(0, Demand{GPU: 5, PIM: 0}, 10); err == nil {

@@ -58,6 +58,12 @@ type Config struct {
 	// with request-ID exemplars, and a request lane in Trace. Zero (the
 	// default) keeps the request path free of any tracking cost.
 	RequestLog int
+	// Certify records the schedule certificate — every successful lease,
+	// its member requests, and each release's frontier stamp — for
+	// verify.Schedule's SR-* checks (see Server.Certificate). The record
+	// grows with traffic, so it is meant for bounded runs: trace replay,
+	// tests, and pimflow-serve -verify.
+	Certify bool
 }
 
 // withDefaults fills zero fields.
@@ -159,10 +165,11 @@ type Server struct {
 	queue     *queue
 	sched     *Scheduler
 	batches   chan []*item
-	lifecycle *Lifecycle // nil when Config.RequestLog is zero
+	lifecycle *Lifecycle    // nil when Config.RequestLog is zero
+	cert      *certRecorder // nil unless Config.Certify
 
 	mu       sync.Mutex
-	draining bool
+	draining bool // guarded by mu
 
 	wg      sync.WaitGroup
 	started time.Time
@@ -186,6 +193,10 @@ func NewServer(cfg Config) (*Server, error) {
 		batches:   make(chan []*item, 2*cfg.Workers),
 		lifecycle: newLifecycle(cfg.RequestLog, cfg.Metrics, cfg.Trace),
 		started:   time.Now(),
+	}
+	if cfg.Certify {
+		s.cert = newCertRecorder()
+		s.sched.onRelease = s.cert.frontier
 	}
 	s.wg.Add(1)
 	go s.dispatcher()
@@ -545,6 +556,7 @@ func (s *Server) process(batch []*item, execute bool) {
 		}
 	}
 
+	var certed []*InferResponse // member responses for the schedule certificate
 	for i, it := range batch {
 		arrival := arrivalOf(it)
 		endCycle := lease.Start + solo + lm.InitInterval*int64(i)
@@ -573,11 +585,19 @@ func (s *Server) process(batch []*item, execute bool) {
 		if lm.SLOTarget > 0 && resp.LatencyCycles > lm.SLOTarget {
 			resp.SLOMiss = true
 			s.cfg.Metrics.Inc("serve.slo_miss")
-			s.cfg.Metrics.Inc("serve.slo_miss." + lm.SLO.Name)
+			s.cfg.Metrics.Inc(obs.LabeledKey("serve.slo_miss", "class", lm.SLO.Name))
 		}
 		s.cfg.Metrics.Observe("serve.latency_cycles", float64(resp.LatencyCycles))
 		s.cfg.Metrics.Observe("serve.queue_cycles", float64(resp.QueueCycles))
+		if s.cert != nil {
+			certed = append(certed, resp)
+		}
 		it.finish(resp, nil)
+	}
+	if s.cert != nil {
+		// Record before Release so the lease's frontier stamp never
+		// precedes the lease itself in the certificate.
+		s.cert.batch(lease, lm, certed)
 	}
 	s.sched.Release(lease)
 	if obs.Enabled(slog.LevelDebug) {

@@ -1,3 +1,8 @@
+// SLO targets and shed decisions are defined on the virtual timeline
+// only (time.Duration appears solely as a config unit).
+//
+//pimflow:virtual-time
+
 package serve
 
 import (

@@ -1,0 +1,288 @@
+// Tier C — the schedule certificate. The serving stack's static story
+// (Tiers A and B) ends where concurrency begins: the scheduler's lease
+// placement, the batcher's window discipline, and the per-request stage
+// attribution are runtime behavior no graph or trace check can see. When
+// serve.Config.Certify is on, the server records every successful lease,
+// its member requests, and the completion-frontier stamp of every
+// release into a ScheduleCertificate, and Schedule replays the SR-* rule
+// family over it: channel-group capacity is never oversubscribed, the
+// completion frontier only advances, batches respect their model's
+// BatchPolicy, and every request's stage split sums exactly. The
+// certificate is pure data, so a forged one (tests inject overlapping
+// leases and rewound frontiers) is rejected with the same rule IDs a
+// real scheduler bug would produce.
+
+package verify
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schedule-certificate rule IDs (Tier C).
+const (
+	RuleSchedDemand    = "SR-DEMAND"    // malformed lease: bad window, duplicate ID, demand outside the machine
+	RuleSchedOverlap   = "SR-OVERLAP"   // concurrent leases oversubscribe a channel group
+	RuleSchedFrontier  = "SR-FRONTIER"  // completion frontier rewound or released lease unknown/uncovered
+	RuleSchedLease     = "SR-LEASE"     // request outside its lease, or bound to an unknown/foreign lease
+	RuleSchedWindow    = "SR-WINDOW"    // batch exceeds MaxBatch or spreads arrivals past WindowCycles
+	RuleSchedPartition = "SR-PARTITION" // stage split does not partition the request's latency exactly
+)
+
+// ScheduleLease is one granted reservation in the certificate: the
+// virtual window [Start, End), the channel-group demand it held, and the
+// size of the request batch it served.
+type ScheduleLease struct {
+	ID    uint64 `json:"id"`
+	Model string `json:"model"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+	GPU   int    `json:"gpu"`
+	PIM   int    `json:"pim"`
+	Batch int    `json:"batch"`
+}
+
+// ScheduleRequest is one served request's timeline as the server
+// reported it: arrival, batch formation, lease execution, and the stage
+// split that must partition the end-to-end latency exactly.
+type ScheduleRequest struct {
+	ID           string `json:"id,omitempty"`
+	Model        string `json:"model"`
+	LeaseID      uint64 `json:"leaseId"`
+	Arrival      int64  `json:"arrival"`
+	BatchArrival int64  `json:"batchArrival"`
+	Start        int64  `json:"start"`
+	End          int64  `json:"end"`
+	BatchWait    int64  `json:"batchWait"`
+	LeaseWait    int64  `json:"leaseWait"`
+	Execute      int64  `json:"execute"`
+	Latency      int64  `json:"latency"`
+}
+
+// ScheduleFrontier is one completion-frontier stamp, recorded (in
+// release order) when the scheduler retired the lease.
+type ScheduleFrontier struct {
+	LeaseID  uint64 `json:"leaseId"`
+	Frontier int64  `json:"frontier"`
+}
+
+// SchedulePolicy is the resolved batching policy of one model, the
+// bound SR-WINDOW checks batches against.
+type SchedulePolicy struct {
+	MaxBatch     int   `json:"maxBatch"`
+	WindowCycles int64 `json:"windowCycles"`
+}
+
+// ScheduleCertificate is the serving stack's self-reported schedule:
+// the machine's channel groups, every successful lease with its member
+// requests, the frontier stamp of every release, and the per-model
+// batching policies in force. Canceled placements (deadline violations,
+// execution failures) never occupied the machine and do not appear.
+type ScheduleCertificate struct {
+	GPUChannels int                       `json:"gpuChannels"`
+	PIMChannels int                       `json:"pimChannels"`
+	Leases      []ScheduleLease           `json:"leases"`
+	Requests    []ScheduleRequest         `json:"requests"`
+	Frontiers   []ScheduleFrontier        `json:"frontiers"`
+	Policies    map[string]SchedulePolicy `json:"policies,omitempty"`
+}
+
+// schedDiag builds a schedule-tier diagnostic (model name rides in the
+// Node field; lease and request identity go into the message).
+func schedDiag(rule, model, msg string) Diagnostic {
+	return Diagnostic{Rule: rule, Node: model, Channel: -1, Index: -1, Msg: msg}
+}
+
+// Schedule checks a certificate against the SR-* rules and returns every
+// violation. An empty certificate is trivially valid.
+func Schedule(c ScheduleCertificate) []Diagnostic {
+	var diags []Diagnostic
+	leases := map[uint64]ScheduleLease{}
+	for _, l := range c.Leases {
+		if _, dup := leases[l.ID]; dup {
+			diags = append(diags, schedDiag(RuleSchedDemand, l.Model,
+				fmt.Sprintf("duplicate lease id %d", l.ID)))
+			continue
+		}
+		leases[l.ID] = l
+		if l.Start >= l.End {
+			diags = append(diags, schedDiag(RuleSchedDemand, l.Model,
+				fmt.Sprintf("lease %d window [%d, %d) is empty or inverted", l.ID, l.Start, l.End)))
+		}
+		if l.GPU < 0 || l.PIM < 0 || l.GPU > c.GPUChannels || l.PIM > c.PIMChannels {
+			diags = append(diags, schedDiag(RuleSchedDemand, l.Model,
+				fmt.Sprintf("lease %d demands %d GPU + %d PIM channels, machine has %d + %d",
+					l.ID, l.GPU, l.PIM, c.GPUChannels, c.PIMChannels)))
+		}
+		if l.Batch < 1 {
+			diags = append(diags, schedDiag(RuleSchedDemand, l.Model,
+				fmt.Sprintf("lease %d served an empty batch", l.ID)))
+		}
+	}
+	diags = append(diags, checkOverlap(c)...)
+	diags = append(diags, checkFrontier(c, leases)...)
+	diags = append(diags, checkRequests(c, leases)...)
+	diags = append(diags, checkWindows(c, leases)...)
+	return diags
+}
+
+// checkOverlap sweeps the lease windows and verifies both channel groups
+// stay within capacity at every point in virtual time. Usage changes
+// only at lease boundaries; windows are half-open, so a lease ending at
+// t composes with one starting at t.
+func checkOverlap(c ScheduleCertificate) []Diagnostic {
+	type event struct {
+		at       int64
+		gpu, pim int
+	}
+	events := make([]event, 0, 2*len(c.Leases))
+	for _, l := range c.Leases {
+		if l.Start >= l.End {
+			continue // already an SR-DEMAND finding
+		}
+		events = append(events, event{l.Start, l.GPU, l.PIM}, event{l.End, -l.GPU, -l.PIM})
+	}
+	// Releases sort before grants at the same instant (half-open windows).
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].gpu+events[i].pim < events[j].gpu+events[j].pim
+	})
+	var diags []Diagnostic
+	gpu, pim := 0, 0
+	for _, e := range events {
+		gpu += e.gpu
+		pim += e.pim
+		if gpu > c.GPUChannels || pim > c.PIMChannels {
+			diags = append(diags, schedDiag(RuleSchedOverlap, "",
+				fmt.Sprintf("overlapping leases hold %d GPU + %d PIM channels at cycle %d, machine has %d + %d",
+					gpu, pim, e.at, c.GPUChannels, c.PIMChannels)))
+			return diags // later sums are corrupted by the first breach; one finding suffices
+		}
+	}
+	return diags
+}
+
+// checkFrontier verifies the release log: stamps are recorded in release
+// order, so they must be nondecreasing, each must name a recorded lease,
+// and each must cover the released lease's end (the frontier is the max
+// completion seen so far).
+func checkFrontier(c ScheduleCertificate, leases map[uint64]ScheduleLease) []Diagnostic {
+	var diags []Diagnostic
+	var prev int64
+	for i, f := range c.Frontiers {
+		if f.Frontier < prev {
+			diags = append(diags, schedDiag(RuleSchedFrontier, "",
+				fmt.Sprintf("frontier rewound from %d to %d at release %d (lease %d)",
+					prev, f.Frontier, i, f.LeaseID)))
+		}
+		prev = f.Frontier
+		l, ok := leases[f.LeaseID]
+		if !ok {
+			diags = append(diags, schedDiag(RuleSchedFrontier, "",
+				fmt.Sprintf("release %d stamps unknown lease %d", i, f.LeaseID)))
+			continue
+		}
+		if f.Frontier < l.End {
+			diags = append(diags, schedDiag(RuleSchedFrontier, l.Model,
+				fmt.Sprintf("release %d of lease %d stamps frontier %d before the lease end %d",
+					i, f.LeaseID, f.Frontier, l.End)))
+		}
+	}
+	return diags
+}
+
+// checkRequests verifies each request against its lease (SR-LEASE) and
+// its own stage arithmetic (SR-PARTITION).
+func checkRequests(c ScheduleCertificate, leases map[uint64]ScheduleLease) []Diagnostic {
+	var diags []Diagnostic
+	for _, r := range c.Requests {
+		who := r.ID
+		if who == "" {
+			who = fmt.Sprintf("request(model=%s, arrival=%d)", r.Model, r.Arrival)
+		}
+		l, ok := leases[r.LeaseID]
+		switch {
+		case !ok:
+			diags = append(diags, schedDiag(RuleSchedLease, r.Model,
+				fmt.Sprintf("%s bound to unknown lease %d", who, r.LeaseID)))
+		case r.Model != l.Model:
+			diags = append(diags, schedDiag(RuleSchedLease, r.Model,
+				fmt.Sprintf("%s rode lease %d of model %q", who, l.ID, l.Model)))
+		case r.Start != l.Start || r.End <= r.Start || r.End > l.End:
+			diags = append(diags, schedDiag(RuleSchedLease, r.Model,
+				fmt.Sprintf("%s window [%d, %d] outside its lease [%d, %d)", who, r.Start, r.End, l.Start, l.End)))
+		case r.Arrival > r.Start:
+			diags = append(diags, schedDiag(RuleSchedLease, r.Model,
+				fmt.Sprintf("%s placed at %d before its arrival %d", who, r.Start, r.Arrival)))
+		}
+		// Stage identities: BatchWait spans arrival → batch formation,
+		// LeaseWait spans batch → lease start, Execute spans the lease, and
+		// the three partition Latency == End - Arrival exactly.
+		switch {
+		case r.BatchWait < 0 || r.LeaseWait < 0 || r.Execute < 0:
+			diags = append(diags, schedDiag(RuleSchedPartition, r.Model,
+				fmt.Sprintf("%s has a negative stage (batchWait %d, leaseWait %d, execute %d)",
+					who, r.BatchWait, r.LeaseWait, r.Execute)))
+		case r.BatchWait != r.BatchArrival-r.Arrival,
+			r.LeaseWait != r.Start-r.BatchArrival,
+			r.Execute != r.End-r.Start,
+			r.Latency != r.End-r.Arrival,
+			r.BatchWait+r.LeaseWait+r.Execute != r.Latency:
+			diags = append(diags, schedDiag(RuleSchedPartition, r.Model,
+				fmt.Sprintf("%s stages %d+%d+%d do not partition latency %d (arrival %d, batch %d, start %d, end %d)",
+					who, r.BatchWait, r.LeaseWait, r.Execute, r.Latency, r.Arrival, r.BatchArrival, r.Start, r.End)))
+		}
+	}
+	return diags
+}
+
+// checkWindows verifies each lease's batch against its model's policy:
+// the member count matches the recorded batch size and stays within
+// MaxBatch, and — when the virtual window is armed — the members'
+// arrival stamps span at most WindowCycles. The spread bound assumes a
+// uniform arrival mode per batch, which both served modes satisfy:
+// frontier-stamped live traffic shares one stamp (spread 0) and trace
+// replay pins every arrival under the window discipline.
+func checkWindows(c ScheduleCertificate, leases map[uint64]ScheduleLease) []Diagnostic {
+	members := map[uint64][]ScheduleRequest{}
+	for _, r := range c.Requests {
+		if _, ok := leases[r.LeaseID]; ok {
+			members[r.LeaseID] = append(members[r.LeaseID], r)
+		}
+	}
+	var diags []Diagnostic
+	for _, l := range c.Leases {
+		ms := members[l.ID]
+		if len(ms) != l.Batch {
+			diags = append(diags, schedDiag(RuleSchedWindow, l.Model,
+				fmt.Sprintf("lease %d records batch %d but %d member requests", l.ID, l.Batch, len(ms))))
+			continue
+		}
+		pol, ok := c.Policies[l.Model]
+		if !ok {
+			continue
+		}
+		if pol.MaxBatch > 0 && l.Batch > pol.MaxBatch {
+			diags = append(diags, schedDiag(RuleSchedWindow, l.Model,
+				fmt.Sprintf("lease %d batched %d requests, policy allows %d", l.ID, l.Batch, pol.MaxBatch)))
+		}
+		if pol.WindowCycles > 0 && len(ms) > 1 {
+			lo, hi := ms[0].Arrival, ms[0].Arrival
+			for _, m := range ms[1:] {
+				if m.Arrival < lo {
+					lo = m.Arrival
+				}
+				if m.Arrival > hi {
+					hi = m.Arrival
+				}
+			}
+			if hi-lo > pol.WindowCycles {
+				diags = append(diags, schedDiag(RuleSchedWindow, l.Model,
+					fmt.Sprintf("lease %d coalesced arrivals %d cycles apart, window is %d", l.ID, hi-lo, pol.WindowCycles)))
+			}
+		}
+	}
+	return diags
+}

@@ -1,0 +1,226 @@
+package verify_test
+
+import (
+	"testing"
+
+	"pimflow/internal/verify"
+)
+
+// goodCert builds a valid two-lease certificate on a 16+16 machine:
+// lease 1 serves a two-request batch of "a" on [100, 300), lease 2
+// overlaps it on disjoint PIM-free channels with a solo "b" request on
+// [150, 250), and the frontier advances with each release.
+func goodCert() verify.ScheduleCertificate {
+	return verify.ScheduleCertificate{
+		GPUChannels: 16,
+		PIMChannels: 16,
+		Leases: []verify.ScheduleLease{
+			{ID: 1, Model: "a", Start: 100, End: 300, GPU: 8, PIM: 8, Batch: 2},
+			{ID: 2, Model: "b", Start: 150, End: 250, GPU: 8, PIM: 0, Batch: 1},
+		},
+		Requests: []verify.ScheduleRequest{
+			{ID: "r1", Model: "a", LeaseID: 1, Arrival: 40, BatchArrival: 60, Start: 100, End: 250,
+				BatchWait: 20, LeaseWait: 40, Execute: 150, Latency: 210},
+			{ID: "r2", Model: "a", LeaseID: 1, Arrival: 60, BatchArrival: 60, Start: 100, End: 300,
+				BatchWait: 0, LeaseWait: 40, Execute: 200, Latency: 240},
+			{ID: "r3", Model: "b", LeaseID: 2, Arrival: 150, BatchArrival: 150, Start: 150, End: 250,
+				BatchWait: 0, LeaseWait: 0, Execute: 100, Latency: 100},
+		},
+		Frontiers: []verify.ScheduleFrontier{
+			{LeaseID: 2, Frontier: 250},
+			{LeaseID: 1, Frontier: 300},
+		},
+		Policies: map[string]verify.SchedulePolicy{
+			"a": {MaxBatch: 4, WindowCycles: 50},
+			"b": {MaxBatch: 1},
+		},
+	}
+}
+
+func TestScheduleCleanCertificate(t *testing.T) {
+	if diags := verify.Schedule(goodCert()); len(diags) != 0 {
+		t.Fatalf("valid certificate rejected: %v", diags)
+	}
+}
+
+func TestScheduleEmptyCertificate(t *testing.T) {
+	if diags := verify.Schedule(verify.ScheduleCertificate{GPUChannels: 16, PIMChannels: 16}); len(diags) != 0 {
+		t.Fatalf("empty certificate rejected: %v", diags)
+	}
+}
+
+// onlyRule asserts the diagnostics are nonempty and all carry the one
+// expected rule ID: a forgery must be rejected for the right reason,
+// without collateral findings from unrelated rules.
+func onlyRule(t *testing.T, diags []verify.Diagnostic, id string) {
+	t.Helper()
+	if len(diags) == 0 {
+		t.Fatalf("forgery accepted; wanted %s", id)
+	}
+	for _, d := range diags {
+		if d.Rule != id {
+			t.Fatalf("wanted only %s, got %v", id, diags)
+		}
+	}
+}
+
+// TestScheduleOverlapForgery injects the canonical forgery: a third
+// lease whose window overlaps lease 1 with a PIM demand the machine
+// cannot hold alongside it.
+func TestScheduleOverlapForgery(t *testing.T) {
+	c := goodCert()
+	c.Leases = append(c.Leases, verify.ScheduleLease{
+		ID: 3, Model: "b", Start: 120, End: 280, GPU: 0, PIM: 12, Batch: 1})
+	c.Requests = append(c.Requests, verify.ScheduleRequest{
+		ID: "r4", Model: "b", LeaseID: 3, Arrival: 120, BatchArrival: 120, Start: 120, End: 280,
+		Execute: 160, Latency: 160})
+	c.Frontiers = append(c.Frontiers, verify.ScheduleFrontier{LeaseID: 3, Frontier: 300})
+	onlyRule(t, verify.Schedule(c), verify.RuleSchedOverlap)
+}
+
+// TestScheduleOverlapBackToBack pins the half-open window semantics: a
+// lease starting exactly where another ends shares no instant with it.
+func TestScheduleOverlapBackToBack(t *testing.T) {
+	c := verify.ScheduleCertificate{GPUChannels: 16, PIMChannels: 16,
+		Leases: []verify.ScheduleLease{
+			{ID: 1, Model: "a", Start: 0, End: 100, GPU: 16, PIM: 16, Batch: 1},
+			{ID: 2, Model: "a", Start: 100, End: 200, GPU: 16, PIM: 16, Batch: 1},
+		},
+	}
+	// No requests or frontiers: member-count mismatches would be SR-WINDOW
+	// findings, so record matching batches instead.
+	c.Requests = []verify.ScheduleRequest{
+		{ID: "r1", Model: "a", LeaseID: 1, Start: 0, End: 100, Execute: 100, Latency: 100},
+		{ID: "r2", Model: "a", LeaseID: 2, Arrival: 100, BatchArrival: 100, Start: 100, End: 200,
+			Execute: 100, Latency: 100},
+	}
+	if diags := verify.Schedule(c); len(diags) != 0 {
+		t.Fatalf("back-to-back full-machine leases rejected: %v", diags)
+	}
+}
+
+// TestScheduleFrontierRewoundForgery rewinds the completion frontier:
+// the second release stamps an earlier cycle than the first.
+func TestScheduleFrontierRewoundForgery(t *testing.T) {
+	c := goodCert()
+	c.Frontiers = []verify.ScheduleFrontier{
+		{LeaseID: 1, Frontier: 300},
+		{LeaseID: 2, Frontier: 250}, // rewinds 300 -> 250
+	}
+	onlyRule(t, verify.Schedule(c), verify.RuleSchedFrontier)
+}
+
+func TestScheduleFrontierUncoveredForgery(t *testing.T) {
+	c := goodCert()
+	c.Frontiers[1].Frontier = 260 // lease 1 ends at 300
+	onlyRule(t, verify.Schedule(c), verify.RuleSchedFrontier)
+}
+
+func TestScheduleFrontierUnknownLease(t *testing.T) {
+	c := goodCert()
+	c.Frontiers = append(c.Frontiers, verify.ScheduleFrontier{LeaseID: 99, Frontier: 400})
+	onlyRule(t, verify.Schedule(c), verify.RuleSchedFrontier)
+}
+
+func TestScheduleLeaseForgeries(t *testing.T) {
+	t.Run("unknown lease", func(t *testing.T) {
+		c := goodCert()
+		c.Requests[2].LeaseID = 99
+		// The dangling member also breaks lease 2's batch count.
+		diags := verify.Schedule(c)
+		if !hasRule(diags, verify.RuleSchedLease) {
+			t.Fatalf("wanted SR-LEASE, got %v", diags)
+		}
+	})
+	t.Run("escapes lease window", func(t *testing.T) {
+		c := goodCert()
+		c.Requests[0].End = 301 // lease 1 ends at 300
+		c.Requests[0].Execute = 201
+		c.Requests[0].Latency = 261
+		onlyRule(t, verify.Schedule(c), verify.RuleSchedLease)
+	})
+	t.Run("served before arrival", func(t *testing.T) {
+		c := goodCert()
+		c.Requests[2].Arrival = 200 // lease 2 starts at 150
+		c.Requests[2].BatchArrival = 200
+		c.Requests[2].BatchWait = 0
+		c.Requests[2].LeaseWait = -50
+		c.Requests[2].Latency = 50
+		diags := verify.Schedule(c)
+		if !hasRule(diags, verify.RuleSchedLease) {
+			t.Fatalf("wanted SR-LEASE, got %v", diags)
+		}
+	})
+	t.Run("foreign model", func(t *testing.T) {
+		c := goodCert()
+		c.Requests[2].Model = "a"
+		diags := verify.Schedule(c)
+		if !hasRule(diags, verify.RuleSchedLease) {
+			t.Fatalf("wanted SR-LEASE, got %v", diags)
+		}
+	})
+}
+
+func TestScheduleWindowForgeries(t *testing.T) {
+	t.Run("over max batch", func(t *testing.T) {
+		c := goodCert()
+		c.Policies["a"] = verify.SchedulePolicy{MaxBatch: 1, WindowCycles: 50}
+		onlyRule(t, verify.Schedule(c), verify.RuleSchedWindow)
+	})
+	t.Run("arrival spread past window", func(t *testing.T) {
+		c := goodCert()
+		c.Policies["a"] = verify.SchedulePolicy{MaxBatch: 4, WindowCycles: 10} // r1/r2 arrive 20 apart
+		onlyRule(t, verify.Schedule(c), verify.RuleSchedWindow)
+	})
+	t.Run("batch size mismatch", func(t *testing.T) {
+		c := goodCert()
+		c.Leases[0].Batch = 3
+		onlyRule(t, verify.Schedule(c), verify.RuleSchedWindow)
+	})
+}
+
+func TestSchedulePartitionForgeries(t *testing.T) {
+	t.Run("tampered stage", func(t *testing.T) {
+		c := goodCert()
+		c.Requests[0].BatchWait = 25 // truth is 20
+		onlyRule(t, verify.Schedule(c), verify.RuleSchedPartition)
+	})
+	t.Run("negative stage", func(t *testing.T) {
+		c := goodCert()
+		c.Requests[0].BatchWait = -5
+		c.Requests[0].LeaseWait = 65
+		onlyRule(t, verify.Schedule(c), verify.RuleSchedPartition)
+	})
+	t.Run("latency mismatch", func(t *testing.T) {
+		c := goodCert()
+		c.Requests[1].Latency = 239
+		onlyRule(t, verify.Schedule(c), verify.RuleSchedPartition)
+	})
+}
+
+func TestScheduleDemandForgeries(t *testing.T) {
+	t.Run("demand exceeds machine", func(t *testing.T) {
+		c := goodCert()
+		c.GPUChannels = 4
+		diags := verify.Schedule(c)
+		if !hasRule(diags, verify.RuleSchedDemand) {
+			t.Fatalf("wanted SR-DEMAND, got %v", diags)
+		}
+	})
+	t.Run("inverted window", func(t *testing.T) {
+		c := goodCert()
+		c.Leases[1].Start, c.Leases[1].End = 250, 150
+		diags := verify.Schedule(c)
+		if !hasRule(diags, verify.RuleSchedDemand) {
+			t.Fatalf("wanted SR-DEMAND, got %v", diags)
+		}
+	})
+	t.Run("duplicate lease id", func(t *testing.T) {
+		c := goodCert()
+		c.Leases = append(c.Leases, c.Leases[1])
+		diags := verify.Schedule(c)
+		if !hasRule(diags, verify.RuleSchedDemand) {
+			t.Fatalf("wanted SR-DEMAND, got %v", diags)
+		}
+	})
+}

@@ -1,7 +1,8 @@
-// Package verify is PIMFlow's static verification layer: a graph-IR
-// invariant checker (Graph) and a PIM command-stream protocol linter
-// (Trace / Workload). The compiler's correctness rests on two contracts
-// that the rest of the test suite only exercises by example:
+// Package verify is PIMFlow's verification layer: a graph-IR invariant
+// checker (Graph), a PIM command-stream protocol linter (Trace /
+// Workload), and a serving-schedule certificate checker (Schedule). The
+// system's correctness rests on contracts that the rest of the test
+// suite only exercises by example:
 //
 //   - Every graph transformation pass (MD-DP split, pipelining, BN fold,
 //     elision, DCE) must preserve IR well-formedness: topological order
@@ -13,6 +14,10 @@
 //     consumes it, a G_ACT opens a weight row before COMP streams column
 //     I/Os, READRES drains accumulated results after COMP, and the
 //     per-channel command distribution covers the whole workload.
+//   - Every certified serving schedule must be physically realizable:
+//     concurrent leases fit the machine's channel groups, the completion
+//     frontier only advances, batches obey their model's policy, and
+//     request stage splits sum exactly (see schedule.go).
 //
 // Checkers return structured Diagnostics carrying stable rule IDs (the
 // catalogue is in Rules and documented in DESIGN.md), so tests can assert
@@ -113,6 +118,12 @@ func Rules() []Rule {
 		{RuleTraceRRNoComp, "READRES only drains after a COMP accumulated into the latches"},
 		{RuleTraceDrain, "every COMP's results are drained by a READRES before the channel ends"},
 		{RuleTraceCover, "the per-channel distribution covers the full workload"},
+		{RuleSchedDemand, "every certified lease has a non-empty window, a unique id, and a demand the machine can hold"},
+		{RuleSchedOverlap, "concurrent leases never oversubscribe a channel group at any virtual instant"},
+		{RuleSchedFrontier, "the completion frontier is monotone and covers every released lease's end"},
+		{RuleSchedLease, "every certified request runs inside its own model's recorded lease, at or after its arrival"},
+		{RuleSchedWindow, "every batch matches its lease's size and respects the model's MaxBatch and virtual window"},
+		{RuleSchedPartition, "every request's batch-wait + lease-wait + execute stages partition its latency exactly"},
 	}
 }
 
@@ -193,6 +204,6 @@ func Record(m *obs.Metrics, diags []Diagnostic) {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		m.Add("verify.violations."+id, byRule[id])
+		m.Add(obs.LabeledKey("verify.violations", "rule", id), byRule[id])
 	}
 }

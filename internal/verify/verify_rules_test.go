@@ -285,6 +285,39 @@ var ruleCases = map[string]func(t *testing.T) []verify.Diagnostic{
 		return verify.Workload(codegen.Workload{M: 0, K: 16, N: 16},
 			pim.DefaultConfig(), codegen.DefaultOpts())
 	},
+	verify.RuleSchedDemand: func(t *testing.T) []verify.Diagnostic {
+		c := goodCert()
+		c.Leases[0].GPU = c.GPUChannels + 1
+		return verify.Schedule(c)
+	},
+	verify.RuleSchedOverlap: func(t *testing.T) []verify.Diagnostic {
+		c := goodCert()
+		// Leases 1 and 2 already overlap in time on 8+8 GPU channels;
+		// shrinking the machine makes their overlap oversubscribe it while
+		// each still fits alone.
+		c.GPUChannels = 12
+		return verify.Schedule(c)
+	},
+	verify.RuleSchedFrontier: func(t *testing.T) []verify.Diagnostic {
+		c := goodCert()
+		c.Frontiers[0], c.Frontiers[1] = c.Frontiers[1], c.Frontiers[0]
+		return verify.Schedule(c)
+	},
+	verify.RuleSchedLease: func(t *testing.T) []verify.Diagnostic {
+		c := goodCert()
+		c.Requests[0].Start, c.Requests[0].End = 90, 240 // outside lease 1's [100, 300)
+		return verify.Schedule(c)
+	},
+	verify.RuleSchedWindow: func(t *testing.T) []verify.Diagnostic {
+		c := goodCert()
+		c.Policies["a"] = verify.SchedulePolicy{MaxBatch: 1}
+		return verify.Schedule(c)
+	},
+	verify.RuleSchedPartition: func(t *testing.T) []verify.Diagnostic {
+		c := goodCert()
+		c.Requests[0].Execute++
+		return verify.Schedule(c)
+	},
 }
 
 // TestEveryRuleHasFailingInput is the catalogue gate: every documented

@@ -63,10 +63,10 @@ func TestRecord(t *testing.T) {
 	if got := m.Counter("verify.violations"); got != 3 {
 		t.Errorf("total = %d, want 3", got)
 	}
-	if got := m.Counter("verify.violations.GR-NAME"); got != 2 {
+	if got := m.Counter(obs.LabeledKey("verify.violations", "rule", "GR-NAME")); got != 2 {
 		t.Errorf("GR-NAME = %d, want 2", got)
 	}
-	if got := m.Counter("verify.violations.TR-DRAIN"); got != 1 {
+	if got := m.Counter(obs.LabeledKey("verify.violations", "rule", "TR-DRAIN")); got != 1 {
 		t.Errorf("TR-DRAIN = %d, want 1", got)
 	}
 }
