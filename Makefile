@@ -39,7 +39,7 @@ fuzz:
 # benchmarks. Results are merged into $(BENCH_JSON) under $(BENCH_LABEL)
 # (machine-readable ns/op, B/op, allocs/op) by cmd/pimflow-bench; the
 # raw go test output still streams through to the terminal.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 BENCH_LABEL ?= after
 
 bench:
@@ -55,7 +55,7 @@ bench-scenarios:
 # Regression gate: replay the Poisson scenario now and compare its
 # deterministic virtual-time metrics against the committed baseline
 # (exactly what CI runs). Exits nonzero on >10% regressions.
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR9.json
 
 bench-compare:
 	$(GO) run ./cmd/pimflow-bench -label compare-run -out /tmp/pimflow_bench_compare.json -scenario poisson

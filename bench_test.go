@@ -294,6 +294,41 @@ func BenchmarkSearchMobileNetV2Warm(b *testing.B) {
 	b.ReportMetric(float64(delta.Saved())/float64(b.N), "cached/op")
 }
 
+// BenchmarkSearchAllModelsCold compiles every evaluated paper model
+// against a cold profile store each iteration — the full Algorithm 1
+// cost a user pays the first time they compile each network. The
+// pruned/op metric counts ratio grid probes the search discharged with
+// the analytic lower bound instead of simulating; sims/op counts the
+// PIM/GPU profiles that actually ran.
+func BenchmarkSearchAllModelsCold(b *testing.B) {
+	names := pimflow.EvaluatedCNNs()
+	graphs := make([]*pimflow.Graph, len(names))
+	for i, name := range names {
+		g, err := pimflow.BuildModel(name, pimflow.ModelOptions{Light: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs[i] = g
+	}
+	var pruned, sims int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pruned, sims = 0, 0
+		for _, g := range graphs {
+			cfg := pimflow.DefaultConfig(pimflow.PolicyPIMFlow)
+			compiled, err := pimflow.Compile(g, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pruned += compiled.Plan.Cache.Pruned
+			sims += compiled.Plan.Cache.Misses
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(pruned), "pruned/op")
+	b.ReportMetric(float64(sims), "sims/op")
+}
+
 func BenchmarkRuntimeScheduleResNet50(b *testing.B) {
 	model, err := pimflow.BuildModel("resnet-50", pimflow.ModelOptions{Light: true})
 	if err != nil {

@@ -1,0 +1,83 @@
+package codegen
+
+import "pimflow/internal/pim"
+
+// BoundWorkload returns a certified lower bound on TimeWorkload's Cycles
+// for the workload, computed in closed form from the schedule plan — no
+// simulation. The search's branch-and-bound pruning uses it to discard
+// MD-DP ratio grid points that cannot beat the incumbent.
+//
+// The bound is the tightest of three per-resource serializations. In
+// pim.ChannelSim every command of a kind starts no earlier than its
+// resource's previous free time, so each resource's total occupancy is a
+// lower bound on its channel's drain:
+//
+//   - the MAC pipeline streams every column I/O at one per tCCDL,
+//   - the outbound path carries every READRES (tCL + bursts·tBL), and
+//   - the inbound path carries every GWRITE burst (bursts·tBL; each
+//     distinct (vector group, K-chunk) buffer load transfers at least
+//     the strided-GWRITE burst count, whichever channel loads it).
+//
+// The kernel drains with its slowest channel, and the slowest channel
+// carries at least the mean share: max_ch drain ≥ ceil(total/active).
+// The refresh stretch and the Groups scaling are monotone, so applying
+// them to the bound preserves soundness.
+func BoundWorkload(w Workload, cfg pim.Config, opts Opts) (int64, error) {
+	groups := w.GroupCount()
+	w.Groups = 0
+	p, err := newPlan(w, cfg, opts)
+	if err != nil {
+		return 0, err
+	}
+	tm := cfg.Timing
+	elems := cfg.ColumnIOBytes / 2
+	lanes := cfg.LanesPerChannel()
+	// Per-vector K totals: nKChunks-1 full chunks plus the remainder.
+	lastK := w.K - (p.nKChunks-1)*p.kChunkLen
+	colIOsPerVec := int64(p.nKChunks-1)*int64(ceilDiv(p.kChunkLen, elems)) +
+		int64(ceilDiv(lastK, elems))
+	gwBurstsPerVec := int64(p.nKChunks-1)*int64(ceilDiv(p.kChunkLen*2, cfg.BurstBytes)) +
+		int64(ceilDiv(lastK*2, cfg.BurstBytes))
+	// READRES bursts across the output groups of one (vector, K-chunk):
+	// full-lane groups plus the remainder group.
+	rbFull := int64(ceilDiv(lanes*4, cfg.BurstBytes))
+	if rbFull < 1 {
+		rbFull = 1
+	}
+	lastN := w.N - (p.nOutGroups-1)*lanes
+	rbLast := int64(ceilDiv(lastN*4, cfg.BurstBytes))
+	if rbLast < 1 {
+		rbLast = 1
+	}
+	m := int64(w.M)
+	comp := m * colIOsPerVec * int64(p.nOutGroups) * int64(tm.TCCDL)
+	nRR := m * int64(p.nKChunks) * int64(p.nOutGroups)
+	out := nRR*int64(tm.TCL) +
+		m*int64(p.nKChunks)*(int64(p.nOutGroups-1)*rbFull+rbLast)*int64(tm.TBL)
+	in := m * gwBurstsPerVec * int64(tm.TBL)
+	lb := comp
+	if out > lb {
+		lb = out
+	}
+	if in > lb {
+		lb = in
+	}
+	active := int64(p.activeChannels())
+	lb = (lb + active - 1) / active
+	if cfg.ModelRefresh && tm.TREFI > 0 {
+		duty := float64(tm.TRFC) / float64(tm.TREFI-tm.TRFC)
+		lb += int64(float64(lb) * duty)
+	}
+	return lb * int64(groups), nil
+}
+
+// activeChannels reports how many channels the plan assigns units to.
+func (p *plan) activeChannels() int {
+	if p.per == 0 {
+		if p.nOutGroups < p.cfg.Channels {
+			return p.nOutGroups
+		}
+		return p.cfg.Channels
+	}
+	return ceilDiv(p.nUnits, p.per)
+}

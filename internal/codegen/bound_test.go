@@ -1,0 +1,112 @@
+package codegen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pimflow/internal/codegen"
+	"pimflow/internal/models"
+	"pimflow/internal/pim"
+)
+
+// TestBoundWorkloadSound is the soundness property the search's pruning
+// rests on: across the whole equivalence sweep, the closed-form bound
+// never exceeds the simulated kernel time (a bound above the truth would
+// let the pruner discard the optimal ratio and change Plan bytes).
+func TestBoundWorkloadSound(t *testing.T) {
+	for cfgName, cfg := range sweepConfigs {
+		for optName, o := range sweepOpts {
+			for _, w := range sweepWorkloads {
+				name := fmt.Sprintf("%s/%s/M%dK%dN%dS%d", cfgName, optName, w.M, w.K, w.N, w.Segments)
+				t.Run(name, func(t *testing.T) {
+					lb, err := codegen.BoundWorkload(w, cfg, o)
+					if err != nil {
+						t.Fatalf("BoundWorkload: %v", err)
+					}
+					st, err := codegen.TimeWorkload(w, cfg, o)
+					if err != nil {
+						t.Fatalf("TimeWorkload: %v", err)
+					}
+					if lb <= 0 {
+						t.Fatalf("bound %d not positive", lb)
+					}
+					if lb > st.Cycles {
+						t.Fatalf("bound %d exceeds simulated cycles %d", lb, st.Cycles)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBoundWorkloadSoundGrouped covers the grouped-GEMM scaling path.
+func TestBoundWorkloadSoundGrouped(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	w := codegen.Workload{M: 49, K: 72, N: 24, Segments: 3, Groups: 4}
+	lb, err := codegen.BoundWorkload(w, cfg, codegen.DefaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := codegen.TimeWorkload(w, cfg, codegen.DefaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 || lb > st.Cycles {
+		t.Fatalf("grouped bound %d vs cycles %d", lb, st.Cycles)
+	}
+}
+
+// TestBoundWorkloadPaperModels checks soundness and usefulness on every
+// PIM-candidate layer of the five paper models: sound always, and within
+// a sanity factor of the truth on at least half the layers (a vacuous
+// bound would never prune anything).
+func TestBoundWorkloadPaperModels(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	opts := codegen.DefaultOpts()
+	for _, name := range models.EvaluatedCNNs() {
+		t.Run(name, func(t *testing.T) {
+			g, err := models.Build(name, models.Options{Light: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			layers, tight := 0, 0
+			for _, n := range g.Nodes {
+				if !g.IsPIMCandidate(n) {
+					continue
+				}
+				w, err := codegen.NodeWorkload(g, n)
+				if err != nil {
+					t.Fatalf("%s: %v", n.Name, err)
+				}
+				lb, err := codegen.BoundWorkload(w, cfg, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", n.Name, err)
+				}
+				st, err := codegen.TimeWorkload(w, cfg, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", n.Name, err)
+				}
+				if lb <= 0 || lb > st.Cycles {
+					t.Fatalf("%s: bound %d vs cycles %d", n.Name, lb, st.Cycles)
+				}
+				layers++
+				if lb*4 >= st.Cycles {
+					tight++
+				}
+			}
+			if layers == 0 {
+				t.Fatal("model has no PIM-candidate layers")
+			}
+			if tight*2 < layers {
+				t.Fatalf("bound within 4x of truth on only %d/%d layers", tight, layers)
+			}
+		})
+	}
+}
+
+// TestBoundWorkloadRejectsBadInput mirrors TimeWorkload's validation.
+func TestBoundWorkloadRejectsBadInput(t *testing.T) {
+	if _, err := codegen.BoundWorkload(codegen.Workload{M: 0, K: 1, N: 1, Segments: 1}, pim.DefaultConfig(), codegen.DefaultOpts()); err == nil {
+		t.Fatal("want error for non-positive workload")
+	}
+}

@@ -22,7 +22,6 @@ package codegen
 import (
 	"fmt"
 	"log/slog"
-	"sync"
 
 	"pimflow/internal/obs"
 	"pimflow/internal/pim"
@@ -295,39 +294,48 @@ func Stream(w Workload, cfg pim.Config, opts Opts, sink pim.Sink) error {
 
 // streamChannel emits one channel's commands for its assigned units.
 func streamChannel(p *plan, ch int, sink pim.Sink) {
-	w, cfg, opts := p.w, p.cfg, p.opts
 	lastVecGroup, lastKStart := -1, -1
 	p.forEachUnit(ch, func(u unit) {
 		// GWRITE the vector group's K-chunk unless this channel just
 		// loaded the same chunk (consecutive output groups reuse it).
-		if u.vecGroup != lastVecGroup || u.kStart != lastKStart {
-			emitGWrite(sink, w, cfg, opts, u)
+		gw := u.vecGroup != lastVecGroup || u.kStart != lastKStart
+		if gw {
 			lastVecGroup, lastKStart = u.vecGroup, u.kStart
 		}
-		// Activate rows and stream COMPs over this K-chunk.
-		colIOs := ceilDiv(u.kLen, cfg.ColumnIOBytes/2)
-		for done := 0; done < colIOs; {
-			cols := cfg.ColumnIOsPerRow
-			if done+cols > colIOs {
-				cols = colIOs - done
-			}
-			sink.Emit(pim.Command{Kind: pim.KindGAct, NewRow: true})
-			for v := 0; v < u.nVecs; v++ {
-				sink.Emit(pim.Command{Kind: pim.KindComp, Cols: cols})
-			}
-			done += cols
-		}
-		// Drain results: one READRES per vector. Partial K-chunks
-		// (GranComp splits) also drain so the GPU can merge partial
-		// sums — the merge cost is the extra READRES traffic.
-		resBursts := ceilDiv(u.outLanes*4, cfg.BurstBytes)
-		if resBursts < 1 {
-			resBursts = 1
-		}
-		for v := 0; v < u.nVecs; v++ {
-			sink.Emit(pim.Command{Kind: pim.KindReadRes, Bursts: resBursts})
-		}
+		emitUnit(sink, p, u, gw)
 	})
+}
+
+// emitUnit emits one unit's command subsequence: the buffer load (when
+// gw), the G_ACT/COMP rows over its K-chunk, and the READRES drains.
+func emitUnit(sink pim.Sink, p *plan, u unit, gw bool) {
+	cfg := &p.cfg
+	if gw {
+		emitGWrite(sink, p.w, p.cfg, p.opts, u)
+	}
+	// Activate rows and stream COMPs over this K-chunk.
+	colIOs := ceilDiv(u.kLen, cfg.ColumnIOBytes/2)
+	for done := 0; done < colIOs; {
+		cols := cfg.ColumnIOsPerRow
+		if done+cols > colIOs {
+			cols = colIOs - done
+		}
+		sink.Emit(pim.Command{Kind: pim.KindGAct, NewRow: true})
+		for v := 0; v < u.nVecs; v++ {
+			sink.Emit(pim.Command{Kind: pim.KindComp, Cols: cols})
+		}
+		done += cols
+	}
+	// Drain results: one READRES per vector. Partial K-chunks
+	// (GranComp splits) also drain so the GPU can merge partial
+	// sums — the merge cost is the extra READRES traffic.
+	resBursts := ceilDiv(u.outLanes*4, cfg.BurstBytes)
+	if resBursts < 1 {
+		resBursts = 1
+	}
+	for v := 0; v < u.nVecs; v++ {
+		sink.Emit(pim.Command{Kind: pim.KindReadRes, Bursts: resBursts})
+	}
 }
 
 // Generate builds the per-channel command trace for the workload — the
@@ -398,34 +406,64 @@ func emitGWrite(sink pim.Sink, w Workload, cfg pim.Config, opts Opts, u unit) {
 	}
 }
 
-// simPool recycles streaming simulators across probes: the mode search
-// times thousands of workloads back to back, and the per-channel scratch
-// a StreamSim holds is identical between them.
-var simPool = sync.Pool{New: func() any { return &pim.StreamSim{} }}
-
 // TimeWorkload times the workload on the PIM configuration by streaming
 // its command sequence straight through the timing engine — generation
-// fused with simulation, no trace materialized. This is the back-end's
-// layer-time primitive used by the execution-mode search; it returns
-// exactly the Stats that Generate + Simulate would, at O(channels)
-// allocation instead of O(commands). A grouped workload (Groups > 1)
-// simulates one group's GEMM and scales the result: the groups are
-// identical traces executed back to back.
+// fused with simulation, no trace materialized — and fast-forwarding the
+// periodic steady state of each channel's stream (see ffsim.go), so cost
+// scales with the schedule's distinct command blocks, not its size. This
+// is the back-end's layer-time primitive used by the execution-mode
+// search; it returns exactly the Stats that Generate + Simulate would. A
+// grouped workload (Groups > 1) simulates one group's GEMM and scales
+// the result: the groups are identical traces executed back to back.
 func TimeWorkload(w Workload, cfg pim.Config, opts Opts) (pim.Stats, error) {
 	groups := w.GroupCount()
 	w.Groups = 0
-	sim := simPool.Get().(*pim.StreamSim)
-	defer simPool.Put(sim)
-	if err := sim.Reset(cfg); err != nil {
-		return pim.Stats{}, err
-	}
-	if err := Stream(w, cfg, opts, sim); err != nil {
-		return pim.Stats{}, err
-	}
-	st, err := sim.Finish()
+	p, err := newPlan(w, cfg, opts)
 	if err != nil {
 		return pim.Stats{}, err
 	}
+	nCh := 0
+	for ch := 0; ch < cfg.Channels; ch++ {
+		if p.channelUnits(ch) > 0 {
+			nCh++
+		}
+	}
+	if nCh == 0 {
+		return pim.Stats{}, fmt.Errorf("pim: empty trace")
+	}
+	st := pim.Stats{
+		PerChannel:       make([]int64, 0, nCh),
+		PerChannelBusy:   make([]int64, 0, nCh),
+		PerChannelCounts: make([]pim.Counts, 0, nCh),
+	}
+	var busySum float64
+	var f ffFeeder
+	for ch := 0; ch < cfg.Channels; ch++ {
+		if p.channelUnits(ch) == 0 {
+			continue
+		}
+		f.cs.Reset(cfg, ch)
+		f.err = nil
+		cw := newChannelWalker(&p, &f)
+		cw.walk(ch)
+		if f.err != nil {
+			return pim.Stats{}, f.err
+		}
+		drain := f.cs.Drain()
+		st.PerChannel = append(st.PerChannel, drain)
+		st.PerChannelBusy = append(st.PerChannelBusy, f.cs.Busy())
+		st.PerChannelCounts = append(st.PerChannelCounts, f.cs.Counts())
+		st.Counts.Add(f.cs.Counts())
+		if drain > st.Cycles {
+			st.Cycles = drain
+		}
+		if drain > 0 {
+			busySum += float64(f.cs.Busy()) / float64(drain)
+		}
+	}
+	st.BusyFraction = busySum / float64(nCh)
+	st.Counts.MACs = st.Counts.ColIOs * int64(cfg.BanksPerChannel) * int64(cfg.MultsPerBank)
+	st.Seconds = cfg.CyclesToSeconds(st.Cycles)
 	c := st.Counts
 	commands := c.GWrites + c.GActs + c.Comps + c.ReadRes
 	st = st.Scale(int64(groups))

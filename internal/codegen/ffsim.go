@@ -1,0 +1,273 @@
+package codegen
+
+import (
+	"pimflow/internal/pim"
+)
+
+// This file implements the steady-state fast-forward used by
+// TimeWorkload. A channel's command stream is periodic at two scales:
+//
+//   - Row level: within one (vector group, K-chunk), every interior
+//     full-lane output group emits the same command subsequence (no
+//     GWRITE — the buffer chunk is reused — then identical G_ACT/COMP
+//     rows and READRES drains).
+//   - Block level: every full vector group (nVecs == GlobalBufs) emits
+//     the same block of commands across all its K-chunks and output
+//     groups.
+//
+// pim.ChannelSim's recurrence is translation-invariant: every Feed rule
+// computes maxima of absolute-time state fields plus constant offsets,
+// and nothing references absolute cycle zero. So once two consecutive
+// repetitions of an identical command block leave the channel in states
+// related by one uniform time shift (pim.ShiftOf), every further
+// repetition adds exactly that shift and the same busy/count deltas —
+// pim.ChannelSim.Advance applies k of them in O(1), with results
+// bit-identical to feeding every command. When no steady state appears,
+// the walker simply feeds everything; correctness never depends on the
+// detection firing.
+
+// ffFeeder drives one pim.ChannelSim as a pim.Sink, latching the first
+// Feed error (matching the Sink error conventions).
+type ffFeeder struct {
+	cs  pim.ChannelSim
+	err error
+}
+
+func (f *ffFeeder) BeginChannel(int) {}
+
+// Emit feeds one command through the channel stepper.
+func (f *ffFeeder) Emit(cmd pim.Command) {
+	if f.err != nil {
+		return
+	}
+	if _, _, err := f.cs.Feed(cmd); err != nil {
+		f.err = err
+	}
+}
+
+// feedRun feeds count repetitions of an identical command subsequence
+// produced by gen, watching for a periodic steady state: once two
+// consecutive repetitions leave the channel in uniformly shifted states,
+// the remaining repetitions are applied in O(1). Returns how many
+// repetitions were skipped (gen ran count-skipped times), so callers
+// whose gen closure carries per-repetition state can resynchronize.
+func (f *ffFeeder) feedRun(count int, gen func()) (skipped int) {
+	var prev pim.Phase
+	have := false
+	for r := 0; r < count; r++ {
+		if f.err != nil {
+			return 0
+		}
+		gen()
+		cur := f.cs.Phase()
+		if have {
+			if _, ok := pim.ShiftOf(prev, cur); ok {
+				k := count - r - 1
+				f.cs.Advance(int64(k), prev, cur)
+				return k
+			}
+		}
+		prev, have = cur, true
+	}
+	return 0
+}
+
+// channelWalker feeds one channel's unit schedule through an ffFeeder,
+// emitting exactly streamChannel's command sequence while compressing
+// its two periodic structures.
+type channelWalker struct {
+	p *plan
+	f *ffFeeder
+	// GWRITE-reuse state, mirroring streamChannel's.
+	lastVG int
+	lastKS int
+}
+
+func newChannelWalker(p *plan, f *ffFeeder) channelWalker {
+	return channelWalker{p: p, f: f, lastVG: -1, lastKS: -1}
+}
+
+// feedUnit feeds the unit at (vg, ks, og) with streamChannel's GWRITE
+// reuse rule.
+func (cw *channelWalker) feedUnit(vg, ks, og int) {
+	u := cw.p.makeUnit(vg, ks, og)
+	gw := u.vecGroup != cw.lastVG || u.kStart != cw.lastKS
+	if gw {
+		cw.lastVG, cw.lastKS = u.vecGroup, u.kStart
+	}
+	emitUnit(cw.f, cw.p, u, gw)
+}
+
+// feedUnitRun feeds count repetitions of the identical unit (vg, ks, og)
+// — feedRun specialized to the row-interior case, avoiding a per-row
+// closure allocation on the probe hot path. Interior units emit no
+// GWRITE (the buffered vectors are reused), so the GWRITE-free
+// steady-state test applies — the plain uniform-shift test can never
+// fire here, because the bus-in and buffer-ready times stay frozen.
+func (cw *channelWalker) feedUnitRun(count, vg, ks, og int) {
+	f := cw.f
+	var prev pim.Phase
+	have := false
+	for r := 0; r < count; r++ {
+		if f.err != nil {
+			return
+		}
+		cw.feedUnit(vg, ks, og)
+		cur := f.cs.Phase()
+		if have {
+			if _, ok := pim.ShiftOfInterior(prev, cur); ok {
+				f.cs.AdvanceInterior(int64(count-r-1), prev, cur)
+				return
+			}
+		}
+		prev, have = cur, true
+	}
+}
+
+// feedRow feeds output groups [ogLo, ogHi) of one (vg, ks), compressing
+// the interior run: after the first unit, every unit except a partial
+// final output group emits an identical subsequence.
+func (cw *channelWalker) feedRow(vg, ks, ogLo, ogHi int) {
+	if ogLo >= ogHi {
+		return
+	}
+	p := cw.p
+	cw.feedUnit(vg, ks, ogLo)
+	partial := ogHi == p.nOutGroups && p.w.N%p.cfg.LanesPerChannel() != 0
+	mid := ogHi - ogLo - 1
+	if partial {
+		mid--
+	}
+	if mid > 0 {
+		cw.feedUnitRun(mid, vg, ks, ogLo+1)
+	}
+	if partial && ogHi-1 > ogLo {
+		cw.feedUnit(vg, ks, ogHi-1)
+	}
+}
+
+// feedSpan feeds the global unit index range [iLo, iHi) of the
+// contiguous schedule, row by row.
+func (cw *channelWalker) feedSpan(iLo, iHi int) {
+	p := cw.p
+	for i := iLo; i < iHi && cw.f.err == nil; {
+		og := i % p.nOutGroups
+		rest := i / p.nOutGroups
+		ks := rest % p.nKChunks
+		vg := rest / p.nKChunks
+		rowEnd := i - og + p.nOutGroups
+		if rowEnd > iHi {
+			rowEnd = iHi
+		}
+		cw.feedRow(vg, ks, og, og+(rowEnd-i))
+		i = rowEnd
+	}
+}
+
+// walkContig feeds channel ch of a contiguous (GranReadRes/GranComp)
+// schedule: the head up to a vector-group boundary, then whole
+// vector-group blocks under steady-state detection, then the tail.
+func (cw *channelWalker) walkContig(ch int) {
+	p := cw.p
+	lo := ch * p.per
+	hi := lo + p.per
+	if hi > p.nUnits {
+		hi = p.nUnits
+	}
+	if lo >= hi {
+		return
+	}
+	B := p.nKChunks * p.nOutGroups
+	// Only full vector groups repeat identically; the last group is
+	// smaller when M is not a multiple of the buffer count.
+	fullEnd := p.nUnits
+	if p.w.M%p.cfg.GlobalBufs != 0 {
+		fullEnd = (p.nVecGroups - 1) * B
+	}
+	blockEnd := hi
+	if blockEnd > fullEnd {
+		blockEnd = fullEnd
+	}
+	bLo := (lo + B - 1) / B * B
+	nBlocks := 0
+	if blockEnd > bLo {
+		nBlocks = (blockEnd - bLo) / B
+	}
+	if nBlocks < 2 {
+		// Too few whole blocks for block-level detection; row-level
+		// compression still applies.
+		cw.feedSpan(lo, hi)
+		return
+	}
+	cw.feedSpan(lo, bLo)
+	i := bLo
+	skipped := cw.f.feedRun(nBlocks, func() {
+		cw.feedSpan(i, i+B)
+		i += B
+	})
+	if skipped > 0 {
+		i += skipped * B
+		// The skipped region ends with the last unit of vector group
+		// i/B-1; resync the GWRITE-reuse state to it.
+		cw.lastVG = i/B - 1
+		cw.lastKS = (p.nKChunks - 1) * p.kChunkLen
+	}
+	cw.feedSpan(i, hi)
+}
+
+// walkGAct feeds channel ch of a GranGAct schedule (output groups
+// assigned by og ≡ ch mod Channels), with the same two-scale
+// compression.
+func (cw *channelWalker) walkGAct(ch int) {
+	p := cw.p
+	if ch >= p.nOutGroups {
+		return
+	}
+	c := p.cfg.Channels
+	count := (p.nOutGroups - ch + c - 1) / c
+	last := ch + (count-1)*c
+	partial := last == p.nOutGroups-1 && p.w.N%p.cfg.LanesPerChannel() != 0
+	feedBlock := func(vg int) {
+		for ks := 0; ks < p.nKChunks; ks++ {
+			cw.feedUnit(vg, ks, ch)
+			if count < 2 {
+				continue
+			}
+			mid := count - 1
+			if partial {
+				mid--
+			}
+			if mid > 0 {
+				cw.feedUnitRun(mid, vg, ks, ch+c)
+			}
+			if partial {
+				cw.feedUnit(vg, ks, last)
+			}
+		}
+	}
+	nFull := p.nVecGroups
+	if p.w.M%p.cfg.GlobalBufs != 0 {
+		nFull--
+	}
+	vg := 0
+	if nFull >= 2 {
+		skipped := cw.f.feedRun(nFull, func() { feedBlock(vg); vg++ })
+		if skipped > 0 {
+			vg += skipped
+			cw.lastVG = vg - 1
+			cw.lastKS = (p.nKChunks - 1) * p.kChunkLen
+		}
+	}
+	for ; vg < p.nVecGroups; vg++ {
+		feedBlock(vg)
+	}
+}
+
+// walk feeds the channel's full schedule.
+func (cw *channelWalker) walk(ch int) {
+	if cw.p.per == 0 {
+		cw.walkGAct(ch)
+		return
+	}
+	cw.walkContig(ch)
+}

@@ -19,12 +19,15 @@ import (
 var sweepWorkloads = []codegen.Workload{
 	{M: 1, K: 16, N: 16, Segments: 1},
 	{M: 4, K: 64, N: 32, Segments: 1},
-	{M: 16, K: 2048, N: 64, Segments: 1},  // K spans several buffer chunks
-	{M: 196, K: 576, N: 128, Segments: 1}, // conv-like lowering
-	{M: 3, K: 100, N: 7, Segments: 1},     // ragged group tails
-	{M: 64, K: 64, N: 1024, Segments: 1},  // many output groups
-	{M: 2, K: 4096, N: 4, Segments: 1},    // few units, GranComp row-chunk split
-	{M: 8, K: 512, N: 256, Segments: 3},   // segmented (strided-GWRITE) input
+	{M: 16, K: 2048, N: 64, Segments: 1},   // K spans several buffer chunks
+	{M: 196, K: 576, N: 128, Segments: 1},  // conv-like lowering
+	{M: 3, K: 100, N: 7, Segments: 1},      // ragged group tails
+	{M: 64, K: 64, N: 1024, Segments: 1},   // many output groups
+	{M: 2, K: 4096, N: 4, Segments: 1},     // few units, GranComp row-chunk split
+	{M: 8, K: 512, N: 256, Segments: 3},    // segmented (strided-GWRITE) input
+	{M: 784, K: 1152, N: 128, Segments: 3}, // large-M conv: block-level fast-forward
+	{M: 1, K: 25088, N: 512, Segments: 1},  // FC: single vector, row-level fast-forward
+	{M: 3137, K: 32, N: 96, Segments: 1},   // huge ragged M (partial last vector group)
 }
 
 var sweepConfigs = map[string]pim.Config{

@@ -72,6 +72,16 @@ type Scenario struct {
 	// off, latency comes from the identical lease arithmetic and replay
 	// scales to millions of requests.
 	Execute bool `json:"execute,omitempty"`
+	// StreamStats swaps the replay's exact latency collection for a
+	// deterministic fixed-size quantile sketch (see QuantileSketch):
+	// memory stays bounded by the sketch instead of growing with the
+	// trace, percentiles gain a small rank error, and the per-request
+	// report sections (Stages, Attributed) are dropped — they need full
+	// records. Exact collection stays the default.
+	StreamStats bool `json:"streamStats,omitempty"`
+	// SketchK is the sketch compactor width under StreamStats (default
+	// 256); larger sketches are more accurate and use more memory.
+	SketchK int `json:"sketchK,omitempty"`
 }
 
 func (s Scenario) withDefaults() Scenario {

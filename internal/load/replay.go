@@ -245,9 +245,13 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 		inFlight endHeap                      // completion cycles of placed work
 		lat      []latRec                     // served latencies + stage splits
 		classLat = map[string][]int64{}       // per-class latencies
+		stream   *streamStats                 // bounded-memory collector (StreamStats)
 		batchSum int64
 		makespan int64
 	)
+	if sc.StreamStats {
+		stream = newStreamStats(sc.SketchK)
+	}
 
 	flush := func(model string, vb *virtualBatch) error {
 		delete(open, model)
@@ -270,9 +274,13 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 			case o.Err == nil:
 				rep.Served++
 				batchSum += int64(o.Resp.BatchSize)
-				lat = append(lat, recOf(o.Resp))
 				cls := o.Resp.SLOClass
-				classLat[cls] = append(classLat[cls], o.Resp.LatencyCycles)
+				if stream != nil {
+					stream.add(cls, o.Resp.LatencyCycles)
+				} else {
+					lat = append(lat, recOf(o.Resp))
+					classLat[cls] = append(classLat[cls], o.Resp.LatencyCycles)
+				}
 				cs := rep.Classes[cls]
 				cs.Served++
 				if o.Resp.SLOMiss {
@@ -427,7 +435,11 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 	}
 
 	rep.WallSeconds = time.Since(started).Seconds()
-	finishReport(rep, lat, classLat, batchSum, makespan)
+	if stream != nil {
+		stream.finish(rep, batchSum, makespan)
+	} else {
+		finishReport(rep, lat, classLat, batchSum, makespan)
+	}
 	if err := certify(srv, rep); err != nil {
 		return nil, err
 	}

@@ -132,6 +132,20 @@ func (c *Counts) Add(other Counts) {
 	c.MACs += other.MACs
 }
 
+// Sub subtracts other from c, field by field. Snapshot deltas (counts
+// accumulated between two points of one simulation) use it.
+func (c *Counts) Sub(other Counts) {
+	c.GWrites -= other.GWrites
+	c.GActs -= other.GActs
+	c.Comps -= other.Comps
+	c.ReadRes -= other.ReadRes
+	c.ColIOs -= other.ColIOs
+	c.GWBursts -= other.GWBursts
+	c.RRBursts -= other.RRBursts
+	c.NewRows -= other.NewRows
+	c.MACs -= other.MACs
+}
+
 // CountOf tallies the commands in one channel trace.
 func CountOf(ct ChannelTrace) Counts {
 	var c Counts

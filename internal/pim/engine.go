@@ -203,6 +203,144 @@ func (c *ChannelSim) Feed(cmd Command) (evStart, evEnd int64, err error) {
 	}
 }
 
+// Phase is a complete snapshot of a ChannelSim's timing state: every
+// absolute-cycle field, the row-open flag, and the accumulated busy
+// cycles and command counts. Streaming generators use pairs of phases to
+// detect a periodic steady state (ShiftOf) and then fast-forward whole
+// repetitions of a command block (Advance) instead of feeding them.
+type Phase struct {
+	times   [8]int64
+	rowOpen bool
+	busy    int64
+	counts  Counts
+}
+
+// Phase snapshots the current state.
+func (c *ChannelSim) Phase() Phase {
+	return Phase{
+		times: [8]int64{
+			c.t, c.busInFreeAt, c.busOutFreeAt, c.rowReadyAt,
+			c.rowOpenAt, c.bufReadyAt, c.lastCompAt, c.compFreeAt,
+		},
+		rowOpen: c.rowOpen,
+		busy:    c.compBusy,
+		counts:  c.counts,
+	}
+}
+
+// ShiftOf reports whether cur is prev translated forward in time by one
+// uniform shift: every timing field advanced by the same non-negative
+// delta and the row-open flag is unchanged. When it holds, the transition
+// prev→cur is a fixed point of the recurrence up to translation — every
+// Feed rule computes only maxima of state fields plus constant offsets,
+// with no absolute-time constants — so replaying the same command block
+// from cur yields exactly cur shifted by the same delta again.
+func ShiftOf(prev, cur Phase) (int64, bool) {
+	if cur.rowOpen != prev.rowOpen {
+		return 0, false
+	}
+	dt := cur.times[0] - prev.times[0]
+	if dt < 0 {
+		return 0, false
+	}
+	for i := 1; i < len(cur.times); i++ {
+		if cur.times[i]-prev.times[i] != dt {
+			return 0, false
+		}
+	}
+	return dt, true
+}
+
+// Advance fast-forwards the channel by k further repetitions of a command
+// block whose single-repetition effect was the transition prev→cur. The
+// caller must have established ShiftOf(prev, cur) — then each repetition
+// shifts every timing field by the same delta and accumulates the same
+// busy/count increments, so k repetitions are applied in O(1) with
+// results identical to feeding every command.
+func (c *ChannelSim) Advance(k int64, prev, cur Phase) {
+	if k <= 0 {
+		return
+	}
+	dt := (cur.times[0] - prev.times[0]) * k
+	c.t += dt
+	c.busInFreeAt += dt
+	c.busOutFreeAt += dt
+	c.rowReadyAt += dt
+	c.rowOpenAt += dt
+	c.bufReadyAt += dt
+	c.lastCompAt += dt
+	c.compFreeAt += dt
+	c.compBusy += (cur.busy - prev.busy) * k
+	d := cur.counts
+	d.Sub(prev.counts)
+	c.counts.Add(d.Scale(k))
+}
+
+// ShiftOfInterior is the steady-state test for command blocks that
+// contain no GWRITE (the interior of one buffered row: G_ACT, COMP, and
+// READRES only). Such blocks never move busInFreeAt or bufReadyAt, so
+// the uniform-shift test of ShiftOf can never hold; instead those two
+// fields are checked to be irrelevant:
+//
+//   - busInFreeAt is neither read nor written by G_ACT/COMP/READRES, so
+//     its (unchanged) value cannot influence a GWRITE-free replay.
+//   - bufReadyAt is read by COMP's start rule, but t never decreases,
+//     and every COMP start is ≥ the t at its issue ≥ prev's t. So once
+//     bufReadyAt ≤ t, the stale buffer-ready time can never win the
+//     COMP max again and the recurrence reduces to the remaining six
+//     fields — which are translation-invariant exactly as in ShiftOf.
+//
+// When it holds, replaying the block from cur advances the six live
+// fields by dt again and leaves the two frozen fields untouched;
+// AdvanceInterior applies k such repetitions in O(1), bit-identically.
+func ShiftOfInterior(prev, cur Phase) (int64, bool) {
+	if cur.rowOpen != prev.rowOpen {
+		return 0, false
+	}
+	dt := cur.times[0] - prev.times[0]
+	if dt < 0 {
+		return 0, false
+	}
+	// Indices into Phase.times: 0 t, 1 busInFreeAt, 2 busOutFreeAt,
+	// 3 rowReadyAt, 4 rowOpenAt, 5 bufReadyAt, 6 lastCompAt, 7 compFreeAt.
+	for _, i := range [...]int{2, 3, 4, 6, 7} {
+		if cur.times[i]-prev.times[i] != dt {
+			return 0, false
+		}
+	}
+	if cur.times[1] != prev.times[1] || cur.times[5] != prev.times[5] {
+		// A moved bus-in or buffer-ready time means the block was not
+		// GWRITE-free after all; fall back to full simulation.
+		return 0, false
+	}
+	if prev.times[5] > prev.times[0] {
+		// The buffer-ready time is still ahead of t and could yet gate
+		// a COMP start.
+		return 0, false
+	}
+	return dt, true
+}
+
+// AdvanceInterior fast-forwards k repetitions of a GWRITE-free block
+// whose transition prev→cur satisfied ShiftOfInterior: the six live
+// timing fields shift, busInFreeAt and bufReadyAt stay frozen.
+func (c *ChannelSim) AdvanceInterior(k int64, prev, cur Phase) {
+	if k <= 0 {
+		return
+	}
+	dt := (cur.times[0] - prev.times[0]) * k
+	c.t += dt
+	c.busOutFreeAt += dt
+	c.rowReadyAt += dt
+	c.rowOpenAt += dt
+	c.lastCompAt += dt
+	c.compFreeAt += dt
+	c.compBusy += (cur.busy - prev.busy) * k
+	d := cur.counts
+	d.Sub(prev.counts)
+	c.counts.Add(d.Scale(k))
+}
+
 // Drain returns the channel's drain time: the cycle when the command
 // queue, both data paths, and the MAC pipeline have all gone idle,
 // stretched by the refresh duty cycle when refresh modeling is on.

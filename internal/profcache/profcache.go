@@ -85,6 +85,12 @@ type Stats struct {
 	// Shared counts lookups that waited on another caller's in-flight
 	// computation of the same key (singleflight deduplication).
 	Shared int64
+	// Pruned counts probes that were never issued because an analytic
+	// lower bound proved them non-improving. The store itself never
+	// sees a pruned probe — the field is populated by the search, which
+	// owns the bound — but it lives here so one Stats value describes
+	// everything a compilation did (and didn't) simulate.
+	Pruned int64
 	// Entries is the number of stored profiles at snapshot time.
 	Entries int
 }
@@ -99,13 +105,18 @@ func (s Stats) Sub(prev Stats) Stats {
 		Hits:    s.Hits - prev.Hits,
 		Misses:  s.Misses - prev.Misses,
 		Shared:  s.Shared - prev.Shared,
+		Pruned:  s.Pruned - prev.Pruned,
 		Entries: s.Entries,
 	}
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d hits, %d misses, %d shared (%d simulations saved, %d entries)",
+	out := fmt.Sprintf("%d hits, %d misses, %d shared (%d simulations saved, %d entries)",
 		s.Hits, s.Misses, s.Shared, s.Saved(), s.Entries)
+	if s.Pruned > 0 {
+		out += fmt.Sprintf(", %d pruned", s.Pruned)
+	}
+	return out
 }
 
 // flight is one in-progress computation other callers can wait on.

@@ -1,0 +1,41 @@
+package search
+
+import (
+	"strings"
+
+	"pimflow/internal/verify"
+)
+
+// Certificate abstracts the plan into the plain-data form the verify
+// package's OP-* rules check against the internal/opt exact solver: the
+// per-node mode timings the search profiled, every profiled pipeline
+// span, and the dynamic program's claimed total. The checker re-derives
+// the optimum independently, so a DP regression (wrong recurrence,
+// broken pruning, stale incumbent) surfaces as an OP-OPTIMAL or
+// OP-TOTAL violation instead of a silently slower plan.
+func (p *Plan) Certificate() *verify.PlanCertificate {
+	c := &verify.PlanCertificate{Model: p.Model, Total: p.TotalProfiled}
+	for _, d := range p.Decisions {
+		n := verify.PlanNode{Name: d.Node, Best: d.BestTime}
+		n.Modes = append(n.Modes, verify.PlanMode{Name: "gpu", Cycles: d.GPUTime})
+		if d.PIMCandidate {
+			n.Modes = append(n.Modes, verify.PlanMode{Name: "pim", Cycles: d.PIMTime})
+			if d.GPURatio > 0 && d.GPURatio < 1 {
+				// The best MD-DP split; its time is the decision's best
+				// by construction (splits only replace on strict wins).
+				n.Modes = append(n.Modes, verify.PlanMode{Name: "mddp", Cycles: d.BestTime})
+			}
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	for _, pd := range p.Pipelines {
+		c.Spans = append(c.Spans, verify.PlanSpan{
+			Name:   strings.Join(pd.Candidate.Nodes, "+"),
+			Start:  pd.StartIdx,
+			Len:    pd.Len,
+			Cycles: pd.Time,
+			Chosen: pd.Chosen,
+		})
+	}
+	return c
+}

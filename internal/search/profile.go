@@ -1,10 +1,12 @@
 package search
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pimflow/internal/codegen"
 	"pimflow/internal/gpu"
@@ -39,6 +41,10 @@ type profiler struct {
 
 	mu     sync.Mutex
 	probes map[string]int64 // per-layer probe counts (metrics only)
+
+	// pruned counts ratio grid points discarded by the analytic bound
+	// without probing (see Run's branch-and-bound pruning).
+	pruned atomic.Int64
 }
 
 func newProfiler(opts Options) *profiler {
@@ -188,24 +194,41 @@ func (p *profiler) pimNode(g *graph.Graph, n *graph.Node) (int64, error) {
 	return p.pimWorkload(w, n.Name, "pim", -1)
 }
 
-// mddp times the MD-DP execution of a candidate node at the given GPU
-// ratio: the two halves run in parallel and synchronize at the concat
-// (which the memory optimizer elides).
-func (p *profiler) mddp(g *graph.Graph, n *graph.Node, ratio float64) (int64, error) {
+// errUnsplittable is the sentinel wrapped by mddpSplitOf when a ratio
+// grid point cannot split the layer's geometry (a skipped point, not a
+// failure). Callers classify with errors.Is: sentinel errors skip the
+// grid point, anything else is a real profiling/simulation error and
+// aborts the sweep. The pre-PR-9 sweep swallowed every mddp error as
+// "unsplittable", which masked genuine simulator failures.
+var errUnsplittable = errors.New("unsplittable at this ratio")
+
+// mddpSplit is the resolved MD-DP geometry of one (layer, ratio) grid
+// point: the GPU-half roofline kernel and the PIM-half workload, plus
+// the PIM probe label.
+type mddpSplit struct {
+	gk      gpu.Kernel
+	pw      codegen.Workload
+	pimKind string
+}
+
+// mddpSplitOf resolves the candidate's split geometry at the given GPU
+// ratio without probing anything. Off-geometry ratios wrap
+// errUnsplittable.
+func (p *profiler) mddpSplitOf(g *graph.Graph, n *graph.Node, ratio float64) (mddpSplit, error) {
 	switch n.Op {
 	case graph.OpConv:
-		return p.mddpConv(g, n, ratio)
+		return p.mddpConvSplit(g, n, ratio)
 	case graph.OpGemm:
-		return p.mddpGemm(g, n, ratio)
+		return p.mddpGemmSplit(g, n, ratio)
 	default:
-		return 0, fmt.Errorf("search: cannot split %s", n.Op)
+		return mddpSplit{}, fmt.Errorf("search: cannot split %s: %w", n.Op, errUnsplittable)
 	}
 }
 
-func (p *profiler) mddpConv(g *graph.Graph, n *graph.Node, ratio float64) (int64, error) {
+func (p *profiler) mddpConvSplit(g *graph.Graph, n *graph.Node, ratio float64) (mddpSplit, error) {
 	cp, err := graph.ConvParamsOf(n)
 	if err != nil {
-		return 0, err
+		return mddpSplit{}, err
 	}
 	in := g.Tensors[n.Inputs[0]].Shape
 	w := g.Tensors[n.Inputs[1]].Shape
@@ -213,7 +236,7 @@ func (p *profiler) mddpConv(g *graph.Graph, n *graph.Node, ratio float64) (int64
 	oh, ow := out[1], out[2]
 	oCut := int(math.Round(float64(oh) * ratio))
 	if oCut < 1 || oCut >= oh {
-		return 0, fmt.Errorf("search: conv %q cannot split %d rows at %v", n.Name, oh, ratio)
+		return mddpSplit{}, fmt.Errorf("search: conv %q cannot split %d rows at %v: %w", n.Name, oh, ratio, errUnsplittable)
 	}
 	// GPU half: top oCut output rows; its input slice height follows the
 	// receptive field.
@@ -226,40 +249,78 @@ func (p *profiler) mddpConv(g *graph.Graph, n *graph.Node, ratio float64) (int64
 		Groups: cp.Group,
 		OutH:   oCut, OutW: ow,
 	}
-	gk := p.rt.GPU.ConvKernel(n.Name+"_gpu", inRows, in[2], in[3], gl)
-	gt, err := p.gpuKernel(gk, n.Name, "mddp-gpu", ratio)
-	if err != nil {
-		return 0, err
-	}
 	// PIM half: remaining rows, in the same per-group convention as the
 	// GPU half (N is the per-group output-channel count; the Groups
 	// multiplicity scales the simulated trace).
-	pw := codegen.Workload{M: (oh - oCut) * ow, K: gl.Dims.K, N: w[3] / cp.Group, Segments: cp.KernelH, Groups: cp.Group}
-	pt, err := p.pimWorkload(pw, n.Name, "mddp-pim", ratio)
+	return mddpSplit{
+		gk:      p.rt.GPU.ConvKernel(n.Name+"_gpu", inRows, in[2], in[3], gl),
+		pw:      codegen.Workload{M: (oh - oCut) * ow, K: gl.Dims.K, N: w[3] / cp.Group, Segments: cp.KernelH, Groups: cp.Group},
+		pimKind: "mddp-pim",
+	}, nil
+}
+
+func (p *profiler) mddpGemmSplit(g *graph.Graph, n *graph.Node, ratio float64) (mddpSplit, error) {
+	in := g.Tensors[n.Inputs[0]].Shape
+	w := g.Tensors[n.Inputs[1]].Shape
+	m, k, nOut := in[0], in[1], w[1]
+	cut := int(math.Round(float64(nOut) * ratio))
+	if cut < 1 || cut >= nOut {
+		return mddpSplit{}, fmt.Errorf("search: gemm %q cannot split %d features at %v: %w", n.Name, nOut, ratio, errUnsplittable)
+	}
+	return mddpSplit{
+		gk:      p.rt.GPU.GemmKernel(n.Name+"_gpu", m, k, cut),
+		pw:      codegen.Workload{M: m, K: k, N: nOut - cut, Segments: 1},
+		pimKind: "mddp-gemm",
+	}, nil
+}
+
+// mddpProbe measures one resolved split through the store: the two
+// halves run in parallel and synchronize at the concat (which the
+// memory optimizer elides).
+func (p *profiler) mddpProbe(layer string, sp mddpSplit, ratio float64) (int64, error) {
+	gt, err := p.gpuKernel(sp.gk, layer, "mddp-gpu", ratio)
+	if err != nil {
+		return 0, err
+	}
+	pt, err := p.pimWorkload(sp.pw, layer, sp.pimKind, ratio)
 	if err != nil {
 		return 0, err
 	}
 	return num.Max64(gt, pt) + p.rt.SyncOverheadCycles, nil
 }
 
-func (p *profiler) mddpGemm(g *graph.Graph, n *graph.Node, ratio float64) (int64, error) {
-	in := g.Tensors[n.Inputs[0]].Shape
-	w := g.Tensors[n.Inputs[1]].Shape
-	m, k, nOut := in[0], in[1], w[1]
-	cut := int(math.Round(float64(nOut) * ratio))
-	if cut < 1 || cut >= nOut {
-		return 0, fmt.Errorf("search: gemm %q cannot split %d features at %v", n.Name, nOut, ratio)
-	}
-	gk := p.rt.GPU.GemmKernel(n.Name+"_gpu", m, k, cut)
-	gt, err := p.gpuKernel(gk, n.Name, "mddp-gpu", ratio)
+// mddp times the MD-DP execution of a candidate node at the given GPU
+// ratio — split resolution plus probe.
+func (p *profiler) mddp(g *graph.Graph, n *graph.Node, ratio float64) (int64, error) {
+	sp, err := p.mddpSplitOf(g, n, ratio)
 	if err != nil {
 		return 0, err
 	}
-	pt, err := p.pimWorkload(codegen.Workload{M: m, K: k, N: nOut - cut, Segments: 1}, n.Name, "mddp-gemm", ratio)
+	return p.mddpProbe(n.Name, sp, ratio)
+}
+
+// mddpBound returns an analytic lower bound on mddpProbe's result for a
+// resolved split, without simulating: the GPU half is the exact roofline
+// time (pure arithmetic — identical to the value the probe would cache),
+// the PIM half is codegen's closed-form serialization bound, and both
+// halves run concurrently, so their max plus the merge sync bounds the
+// probe from below.
+func (p *profiler) mddpBound(sp mddpSplit) (int64, error) {
+	res, err := p.rt.GPU.Time(sp.gk)
 	if err != nil {
 		return 0, err
 	}
-	return num.Max64(gt, pt) + p.rt.SyncOverheadCycles, nil
+	lb, err := codegen.BoundWorkload(sp.pw, p.rt.PIM, p.rt.Codegen)
+	if err != nil {
+		return 0, err
+	}
+	return num.Max64(res.Cycles, p.scalePIM(lb)) + p.rt.SyncOverheadCycles, nil
+}
+
+// prunedProbe records one grid point discarded by the bound.
+func (p *profiler) prunedProbe() {
+	p.pruned.Add(1)
+	p.metrics.Inc("search.pruned_probes")
 }
 
 // extractChain builds a standalone graph containing the chain nodes (the

@@ -62,9 +62,23 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 		fusedBy[n] = p
 	}
 
-	// Phase 1: per-node execution mode and task size (optimal_split).
-	// Layers are independent, so they are profiled concurrently (the
-	// paper's hardware measurement phase likewise batches samples).
+	// Phase 1: per-node execution mode and task size (optimal_split). The
+	// full probe set is flattened wave by wave — serial endpoints, coarse
+	// ratio grid, refine grid — into bounded worker pools over the shared
+	// singleflight profcache. Results land in per-layer index slots and a
+	// sequential pass reduces them in the classic sweep order afterwards,
+	// so the Plan bytes are identical regardless of completion order.
+	//
+	// The coarse and refine waves prune: each layer tracks its incumbent
+	// best time, and a grid point whose analytic lower bound (mddpBound)
+	// strictly exceeds the incumbent is skipped without probing. Pruning
+	// never changes the Plan: the incumbent only shrinks toward the
+	// layer's final best F, so a pruned point's true time t satisfies
+	// t >= bound > incumbent >= F — it can neither beat F nor tie it (the
+	// reduction replaces the best only on strictly smaller times, so a
+	// first-achiever tie is decided among unpruned points only).
+	// KeepSamples (or NoPrune) disables pruning so recorded sample lists
+	// stay complete.
 	idxOf := map[string]int{}
 	for i, n := range order {
 		idxOf[n.Name] = i
@@ -73,9 +87,21 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 	plan.Decisions = make([]LayerDecision, len(order))
 	endPhase1 := opts.Trace.Span("search", "profile-layers", "search.phase",
 		map[string]any{"model": g.Name, "policy": opts.Policy.String(), "nodes": len(order)})
+	phase1Err := func(err error) (*Plan, error) {
+		endPhase1(map[string]any{"error": err.Error()})
+		return nil, err
+	}
+	prune := !opts.KeepSamples && !opts.NoPrune
+	coarse := coarseRatios(opts.RatioStep)
+	states := make([]layerState, len(order))
+
+	// Wave 1: serial endpoints (full GPU, full PIM) seed the incumbents.
 	if err := forEachParallel(len(order), func(i int) error {
-		n := order[i]
-		d := LayerDecision{Node: n.Name, Op: n.Op, GPURatio: 1}
+		st := &states[i]
+		st.n = order[i]
+		n := st.n
+		st.d = LayerDecision{Node: n.Name, Op: n.Op, GPURatio: 1}
+		d := &st.d
 		var tGPU int64
 		if _, fused := fusedBy[n]; !fused {
 			t, err := prof.gpuNode(g, n)
@@ -98,72 +124,85 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 				d.GPURatio = 0
 			}
 			if opts.allowMDDP() {
+				st.sweep = true
 				if opts.KeepSamples {
 					d.Samples = append(d.Samples,
 						RatioSample{GPURatio: 0, Cycles: tPIM},
 						RatioSample{GPURatio: 1, Cycles: tGPU})
 				}
-				// Sweep exact grid points r = i*step: deriving each ratio
-				// from the integer index keeps the samples on-grid, where
-				// the accumulating form (r += step) drifts by ulps (e.g.
-				// 0.30000000000000004) and can add or drop a boundary step.
-				for i := 1; ; i++ {
-					r := float64(i) * opts.RatioStep
-					if r >= 1-opts.RatioStep/2 {
-						break
-					}
-					t, err := prof.mddp(g, n, r)
-					if err != nil {
-						continue // unsplittable at this ratio
-					}
-					if opts.KeepSamples {
-						d.Samples = append(d.Samples, RatioSample{GPURatio: r, Cycles: t})
-					}
-					if t < d.BestTime {
-						d.BestTime = t
-						d.GPURatio = r
-					}
+			}
+		}
+		st.inc.Store(d.BestTime)
+		return nil
+	}); err != nil {
+		return phase1Err(err)
+	}
+
+	// Wave 2: the flattened (layer × ratio) coarse grid.
+	var tasks []gridTask
+	for i := range states {
+		if !states[i].sweep {
+			continue
+		}
+		states[i].grid = make([]probeResult, len(coarse))
+		for gi := range coarse {
+			tasks = append(tasks, gridTask{layer: i, idx: gi})
+		}
+	}
+	if err := forEachParallel(len(tasks), func(ti int) error {
+		t := tasks[ti]
+		st := &states[t.layer]
+		return prof.probeRatio(g, st, &st.grid[t.idx], coarse[t.idx], prune)
+	}); err != nil {
+		return phase1Err(err)
+	}
+	for i := range states {
+		reduceGrid(&states[i], states[i].grid, coarse, opts.KeepSamples)
+	}
+
+	// Wave 3: the flattened (layer × offset) refine grid around each
+	// layer's coarse best.
+	if opts.RefineRatio {
+		step := opts.RefineStep
+		if step <= 0 {
+			step = 0.02
+		}
+		span := int(math.Round(opts.RatioStep / step))
+		tasks = tasks[:0]
+		for i := range states {
+			st := &states[i]
+			if !st.sweep || st.d.GPURatio <= 0 || st.d.GPURatio >= 1 {
+				continue
+			}
+			st.base, st.step, st.span = st.d.GPURatio, step, span
+			st.refine = make([]probeResult, 2*span+1)
+			for j := -span; j <= span; j++ {
+				if j == 0 {
+					continue
 				}
-				if opts.RefineRatio && d.GPURatio > 0 && d.GPURatio < 1 {
-					step := opts.RefineStep
-					if step <= 0 {
-						step = 0.02
-					}
-					// Probe fine-grid offsets j*step within one coarse step
-					// of the best ratio, again index-derived.
-					span := int(math.Round(opts.RatioStep / step))
-					base := d.GPURatio
-					for j := -span; j <= span; j++ {
-						if j == 0 {
-							continue
-						}
-						r := base + float64(j)*step
-						if r <= 0 || r >= 1 {
-							continue
-						}
-						t, err := prof.mddp(g, n, r)
-						if err != nil {
-							continue
-						}
-						if opts.KeepSamples {
-							d.Samples = append(d.Samples, RatioSample{GPURatio: r, Cycles: t})
-						}
-						if t < d.BestTime {
-							d.BestTime = t
-							d.GPURatio = r
-						}
-					}
+				if r := st.base + float64(j)*step; r > 0 && r < 1 {
+					tasks = append(tasks, gridTask{layer: i, idx: j + span})
 				}
 			}
 		}
-		cost[i] = d.BestTime
-		plan.Decisions[i] = d
-		return nil
-	}); err != nil {
-		endPhase1(map[string]any{"error": err.Error()})
-		return nil, err
+		if err := forEachParallel(len(tasks), func(ti int) error {
+			t := tasks[ti]
+			st := &states[t.layer]
+			r := st.base + float64(t.idx-st.span)*st.step
+			return prof.probeRatio(g, st, &st.refine[t.idx], r, prune)
+		}); err != nil {
+			return phase1Err(err)
+		}
 	}
-	endPhase1(nil)
+	for i := range states {
+		st := &states[i]
+		if st.refine != nil {
+			reduceGrid(st, st.refine, refineRatiosOf(st), opts.KeepSamples)
+		}
+		cost[i] = st.d.BestTime
+		plan.Decisions[i] = st.d
+	}
+	endPhase1(map[string]any{"prunedProbes": prof.pruned.Load()})
 
 	// Phase 2: pipelining candidates (also independent; profiled
 	// concurrently, order preserved).
@@ -242,6 +281,7 @@ func Run(g *graph.Graph, opts Options) (*Plan, error) {
 	plan.TotalProfiled = dp[0]
 	endPhase3(map[string]any{"totalProfiled": plan.TotalProfiled})
 	plan.Cache = prof.store.Stats().Sub(cacheBefore)
+	plan.Cache.Pruned = prof.pruned.Load()
 	prof.finishMetrics()
 	if opts.Metrics != nil {
 		opts.Metrics.Inc("search.runs")
@@ -377,13 +417,21 @@ func Apply(g *graph.Graph, plan *Plan) (*graph.Graph, error) {
 	if err := verifyStep(out, "before transformation"); err != nil {
 		return nil, err
 	}
+	// Each rewrite defers shape inference to the single InferShapes at
+	// the end (per-pass inference re-walks the whole graph, quadratic in
+	// model size) — except under Verify, where the per-pass invariant
+	// check wants every intermediate graph fully shaped.
+	applyPipeline, applySplit := transform.PipelineChainDeferred, transform.SplitMDDPDeferred
+	if plan.Options.Verify {
+		applyPipeline, applySplit = transform.PipelineChain, transform.SplitMDDP
+	}
 	pipelined := map[string]bool{}
 	groupID := 0
 	for _, pd := range plan.Pipelines {
 		if !pd.Chosen {
 			continue
 		}
-		if err := transform.PipelineChain(out, pd.Candidate.Nodes, pd.Stages, groupID); err != nil {
+		if err := applyPipeline(out, pd.Candidate.Nodes, pd.Stages, groupID); err != nil {
 			return nil, fmt.Errorf("search: apply pipeline %v: %w", pd.Candidate.Nodes, err)
 		}
 		if err := verifyStep(out, fmt.Sprintf("after pipelining %v", pd.Candidate.Nodes)); err != nil {
@@ -408,7 +456,7 @@ func Apply(g *graph.Graph, plan *Plan) (*graph.Graph, error) {
 		case d.GPURatio >= 1:
 			// Full GPU: default annotation.
 		default:
-			if err := transform.SplitMDDP(out, d.Node, d.GPURatio); err != nil {
+			if err := applySplit(out, d.Node, d.GPURatio); err != nil {
 				return nil, fmt.Errorf("search: apply split %q: %w", d.Node, err)
 			}
 			if err := verifyStep(out, fmt.Sprintf("after MD-DP split of %q", d.Node)); err != nil {
@@ -416,10 +464,13 @@ func Apply(g *graph.Graph, plan *Plan) (*graph.Graph, error) {
 			}
 		}
 	}
-	transform.ElideDataMovement(out)
+	// Shapes must be fresh before elision: the memory optimizer elides
+	// Slice/Concat/Pad nodes only when it can see their batch-1 NHWC
+	// shapes, including tensors introduced by the deferred rewrites.
 	if err := out.InferShapes(); err != nil {
 		return nil, err
 	}
+	transform.ElideDataMovement(out)
 	if err := verifyStep(out, "after data-movement elision"); err != nil {
 		return nil, err
 	}

@@ -90,8 +90,14 @@ type Options struct {
 	RefineStep float64
 	// KeepSamples records every profiled (ratio, cycles) sample in the
 	// LayerDecision, for offline analysis of the search curves (the
-	// artifact's PIMFlow/layerwise profiling data).
+	// artifact's PIMFlow/layerwise profiling data). Implies NoPrune:
+	// sample lists must cover the whole grid.
 	KeepSamples bool
+	// NoPrune disables the branch-and-bound pruning of ratio grid
+	// points. Pruning never changes the selected Plan (only provably
+	// non-improving probes are skipped); the switch exists for
+	// measuring search cost and for equivalence tests.
+	NoPrune bool
 	// Verify enables the static verification layer as a debug gate: the
 	// graph-IR invariant checker runs after every transformation pass in
 	// Apply, and (through RuntimeConfig) the runtime lints every generated

@@ -24,6 +24,16 @@ var elementwiseOps = map[graph.OpType]bool{
 // groupID tags the created nodes' Exec.Pipeline hints so the runtime and
 // reports can identify the subgraph.
 func PipelineChain(g *graph.Graph, names []string, stages, groupID int) error {
+	if err := PipelineChainDeferred(g, names, stages, groupID); err != nil {
+		return err
+	}
+	return g.InferShapes()
+}
+
+// PipelineChainDeferred is PipelineChain without the trailing
+// whole-graph shape inference, for callers that batch several rewrites
+// and infer once (see SplitMDDPDeferred).
+func PipelineChainDeferred(g *graph.Graph, names []string, stages, groupID int) error {
 	if len(names) < 2 {
 		return fmt.Errorf("transform: pipeline needs >= 2 nodes")
 	}
@@ -194,7 +204,7 @@ func PipelineChain(g *graph.Graph, names []string, stages, groupID int) error {
 	for _, n := range chain[1:] {
 		g.RemoveNode(n.Name)
 	}
-	return g.InferShapes()
+	return nil
 }
 
 // prefixFor returns (creating if needed) the tensor that holds rows

@@ -64,6 +64,19 @@ func outputRowsFromPrefix(r, s, k, padT, oh int) int {
 // both halves execute in parallel, and a Concat reassembles the output
 // under the original tensor name.
 func SplitMDDP(g *graph.Graph, nodeName string, gpuRatio float64) error {
+	if err := SplitMDDPDeferred(g, nodeName, gpuRatio); err != nil {
+		return err
+	}
+	return g.InferShapes()
+}
+
+// SplitMDDPDeferred is SplitMDDP without the trailing whole-graph shape
+// inference. Inference walks and re-sorts the entire graph, so a caller
+// applying many rewrites (search.Apply splits every MD-DP layer of a
+// model) pays a quadratic cost if each split infers; batching the
+// rewrites and inferring once is linear. Until the caller runs
+// g.InferShapes, the nodes introduced here have unshaped outputs.
+func SplitMDDPDeferred(g *graph.Graph, nodeName string, gpuRatio float64) error {
 	n := g.Node(nodeName)
 	if n == nil {
 		return fmt.Errorf("transform: node %q not found", nodeName)
@@ -129,10 +142,7 @@ func splitConv(g *graph.Graph, n *graph.Node, gpuRatio float64) error {
 	}
 	concat.Attrs.SetInts("axis", 1)
 	repl := append(append(a, b...), concat)
-	if err := g.ReplaceNode(n.Name, repl...); err != nil {
-		return err
-	}
-	return g.InferShapes()
+	return g.ReplaceNode(n.Name, repl...)
 }
 
 func splitGemm(g *graph.Graph, n *graph.Node, gpuRatio float64) error {
@@ -188,8 +198,5 @@ func splitGemm(g *graph.Graph, n *graph.Node, gpuRatio float64) error {
 		Attrs:   graph.NewAttrs(),
 	}
 	concat.Attrs.SetInts("axis", 1)
-	if err := g.ReplaceNode(n.Name, a, b, concat); err != nil {
-		return err
-	}
-	return g.InferShapes()
+	return g.ReplaceNode(n.Name, a, b, concat)
 }

@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"fmt"
+
+	"pimflow/internal/opt"
+)
+
+// Search-plan rule IDs (Tier D): the compiled plan's mode assignment is
+// checked against an independent exact solver (internal/opt), so the
+// search's dynamic program cannot silently return a sub-optimal or
+// inconsistently-accounted plan.
+const (
+	RulePlanShape   = "OP-SHAPE"   // malformed certificate (indices, ranges, missing modes)
+	RulePlanChoice  = "OP-CHOICE"  // chosen pipeline spans overlap
+	RulePlanBest    = "OP-BEST"    // a node's best time is not the minimum of its modes
+	RulePlanTotal   = "OP-TOTAL"   // the plan total does not re-derive from its own choices
+	RulePlanOptimal = "OP-OPTIMAL" // the plan total is beaten by the exact solver
+)
+
+// PlanMode is one profiled execution option of a node.
+type PlanMode struct {
+	Name   string `json:"name"`
+	Cycles int64  `json:"cycles"`
+}
+
+// PlanNode is one node of a plan certificate: every mode the search
+// profiled for it and the best single-node time the DP consumed.
+type PlanNode struct {
+	Name  string     `json:"name"`
+	Modes []PlanMode `json:"modes"`
+	Best  int64      `json:"best"`
+}
+
+// PlanSpan is one pipelining candidate the search profiled: a
+// contiguous node range with a fused time, and whether the DP chose it.
+type PlanSpan struct {
+	Name   string `json:"name"`
+	Start  int    `json:"start"`
+	Len    int    `json:"len"`
+	Cycles int64  `json:"cycles"`
+	Chosen bool   `json:"chosen"`
+}
+
+// PlanCertificate is the searchable abstraction of a compiled plan: the
+// per-node mode timings, the profiled pipeline spans, and the total the
+// dynamic program claimed. It is plain data (search builds it, verify
+// checks it) so the checker stays independent of the search package.
+type PlanCertificate struct {
+	Model string     `json:"model"`
+	Nodes []PlanNode `json:"nodes"`
+	Spans []PlanSpan `json:"spans"`
+	Total int64      `json:"total"`
+}
+
+// planDiag builds a plan-tier diagnostic.
+func planDiag(rule, node, msg string) Diagnostic {
+	return Diagnostic{Rule: rule, Node: node, Channel: -1, Index: -1, Msg: msg}
+}
+
+// PlanSearch checks a plan certificate:
+//
+//	OP-SHAPE    the certificate is structurally sound,
+//	OP-CHOICE   chosen spans are pairwise disjoint,
+//	OP-BEST     each node's best time is the minimum of its modes,
+//	OP-TOTAL    the claimed total re-derives from the choices,
+//	OP-OPTIMAL  no assignment of modes and spans beats the total
+//	            (cross-checked by the internal/opt exact solver).
+//
+// Structural violations stop the check early: the optimality rules are
+// only meaningful on a well-formed certificate.
+func PlanSearch(c *PlanCertificate) []Diagnostic {
+	var diags []Diagnostic
+	for i, n := range c.Nodes {
+		if len(n.Modes) == 0 {
+			diags = append(diags, planDiag(RulePlanShape, n.Name, fmt.Sprintf("node %d has no profiled modes", i)))
+		}
+		for _, m := range n.Modes {
+			if m.Cycles < 0 {
+				diags = append(diags, planDiag(RulePlanShape, n.Name, fmt.Sprintf("mode %q has negative time %d", m.Name, m.Cycles)))
+			}
+		}
+	}
+	for si, s := range c.Spans {
+		if s.Len < 1 || s.Start < 0 || s.Start+s.Len > len(c.Nodes) {
+			diags = append(diags, planDiag(RulePlanShape, s.Name, fmt.Sprintf("span %d range [%d,%d) outside %d nodes", si, s.Start, s.Start+s.Len, len(c.Nodes))))
+		}
+		if s.Cycles < 0 {
+			diags = append(diags, planDiag(RulePlanShape, s.Name, fmt.Sprintf("span %d has negative time %d", si, s.Cycles)))
+		}
+	}
+	if diags != nil {
+		return diags
+	}
+
+	covered := make([]int, len(c.Nodes)) // 1-based chosen-span marker, 0 = single
+	for si, s := range c.Spans {
+		if !s.Chosen {
+			continue
+		}
+		for j := s.Start; j < s.Start+s.Len; j++ {
+			if covered[j] != 0 {
+				diags = append(diags, planDiag(RulePlanChoice, s.Name,
+					fmt.Sprintf("chosen span %d overlaps chosen span %d at node %q", si, covered[j]-1, c.Nodes[j].Name)))
+			}
+			covered[j] = si + 1
+		}
+	}
+
+	var derived int64
+	for i, n := range c.Nodes {
+		min := n.Modes[0].Cycles
+		for _, m := range n.Modes[1:] {
+			if m.Cycles < min {
+				min = m.Cycles
+			}
+		}
+		if n.Best != min {
+			diags = append(diags, planDiag(RulePlanBest, n.Name,
+				fmt.Sprintf("best time %d, but cheapest profiled mode is %d", n.Best, min)))
+		}
+		if covered[i] == 0 {
+			derived += n.Best
+		}
+	}
+	for _, s := range c.Spans {
+		if s.Chosen {
+			derived += s.Cycles
+		}
+	}
+	if derived != c.Total {
+		diags = append(diags, planDiag(RulePlanTotal, "",
+			fmt.Sprintf("plan total %d, but its choices sum to %d", c.Total, derived)))
+	}
+	if diags != nil {
+		// A mis-derived or overlapping plan makes the optimality
+		// comparison meaningless.
+		return diags
+	}
+
+	prob := &opt.Problem{}
+	for _, n := range c.Nodes {
+		nd := opt.Node{Name: n.Name}
+		for _, m := range n.Modes {
+			nd.Modes = append(nd.Modes, opt.Mode{Name: m.Name, Time: m.Cycles})
+		}
+		prob.Nodes = append(prob.Nodes, nd)
+	}
+	for _, s := range c.Spans {
+		prob.Spans = append(prob.Spans, opt.Span{Name: s.Name, Start: s.Start, Len: s.Len, Time: s.Cycles})
+	}
+	sol, err := opt.Solve(prob)
+	if err != nil {
+		return append(diags, planDiag(RulePlanShape, "", fmt.Sprintf("exact solver rejected the instance: %v", err)))
+	}
+	if sol.Total != c.Total {
+		diags = append(diags, planDiag(RulePlanOptimal, "",
+			fmt.Sprintf("plan total %d, exact optimum %d", c.Total, sol.Total)))
+	}
+	return diags
+}

@@ -1,0 +1,114 @@
+package verify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimflow/internal/models"
+	"pimflow/internal/opt"
+	"pimflow/internal/search"
+	"pimflow/internal/verify"
+)
+
+// TestGoodPlanCertClean pins the fixture the negative rule cases perturb:
+// unmodified, it must pass every OP-* rule.
+func TestGoodPlanCertClean(t *testing.T) {
+	if diags := verify.PlanSearch(goodPlanCert()); len(diags) != 0 {
+		t.Fatalf("clean certificate tripped rules:\n%v", verify.AsError(diags))
+	}
+}
+
+// TestPaperModelPlansOptimal is the cross-check's acceptance criterion:
+// for every evaluated CNN, the plan the search's dynamic program emits
+// must certify against the independent exact solver — same structure,
+// disjoint choices, re-derivable total, and provably the optimum of the
+// profiled times.
+func TestPaperModelPlansOptimal(t *testing.T) {
+	for _, name := range models.EvaluatedCNNs() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := models.Build(name, models.Options{Light: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, plan, err := search.Compile(g, search.DefaultOptions(search.PolicyPIMFlow))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diags := verify.PlanSearch(plan.Certificate()); len(diags) != 0 {
+				t.Fatalf("plan failed the exact cross-check:\n%v", verify.AsError(diags))
+			}
+		})
+	}
+}
+
+// certOf builds the certificate an honest search would emit for a random
+// problem: the solver's own optimum as the claimed plan.
+func certOf(p *opt.Problem, a opt.Assignment) *verify.PlanCertificate {
+	c := &verify.PlanCertificate{Model: "rand", Total: a.Total}
+	for _, nd := range p.Nodes {
+		pn := verify.PlanNode{Name: nd.Name}
+		best := nd.Modes[0].Time
+		for _, m := range nd.Modes {
+			pn.Modes = append(pn.Modes, verify.PlanMode{Name: m.Name, Cycles: m.Time})
+			if m.Time < best {
+				best = m.Time
+			}
+		}
+		pn.Best = best
+		c.Nodes = append(c.Nodes, pn)
+	}
+	chosen := map[int]bool{}
+	for _, si := range a.SpanIdx {
+		chosen[si] = true
+	}
+	for si, s := range p.Spans {
+		c.Spans = append(c.Spans, verify.PlanSpan{
+			Name: s.Name, Start: s.Start, Len: s.Len, Cycles: s.Time, Chosen: chosen[si],
+		})
+	}
+	return c
+}
+
+// TestPlanSearchRandomSubgraphs is the tentpole's property test: over
+// random mode/span instances, an honest certificate (the exact optimum)
+// always verifies clean, and an inflated total is always caught — the
+// checker accepts exactly the optima and nothing weaker.
+func TestPlanSearchRandomSubgraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(8)
+		p := &opt.Problem{}
+		for i := 0; i < n; i++ {
+			nd := opt.Node{Name: string(rune('a' + i))}
+			for m := 0; m <= rng.Intn(3); m++ {
+				nd.Modes = append(nd.Modes, opt.Mode{Name: "m", Time: int64(rng.Intn(90))})
+			}
+			p.Nodes = append(p.Nodes, nd)
+		}
+		for s := 0; s < rng.Intn(5); s++ {
+			start := rng.Intn(n)
+			p.Spans = append(p.Spans, opt.Span{
+				Name: "s", Start: start, Len: 1 + rng.Intn(n-start),
+				Time: int64(rng.Intn(200)),
+			})
+		}
+		a, err := opt.Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		honest := certOf(p, a)
+		if diags := verify.PlanSearch(honest); len(diags) != 0 {
+			t.Fatalf("trial %d: honest optimum rejected:\n%v", trial, verify.AsError(diags))
+		}
+
+		// A plan claiming anything other than the optimum must trip a
+		// rule. Inflate the total: OP-TOTAL catches the mis-derivation.
+		worse := certOf(p, a)
+		worse.Total += 1 + int64(rng.Intn(10))
+		diags := verify.PlanSearch(worse)
+		if len(diags) == 0 {
+			t.Fatalf("trial %d: inflated total %d (optimum %d) passed", trial, worse.Total, a.Total)
+		}
+	}
+}

@@ -124,6 +124,11 @@ func Rules() []Rule {
 		{RuleSchedLease, "every certified request runs inside its own model's recorded lease, at or after its arrival"},
 		{RuleSchedWindow, "every batch matches its lease's size and respects the model's MaxBatch and virtual window"},
 		{RuleSchedPartition, "every request's batch-wait + lease-wait + execute stages partition its latency exactly"},
+		{RulePlanShape, "plan certificates are structurally sound: in-range spans, non-negative times, at least one mode per node"},
+		{RulePlanChoice, "a plan's chosen pipeline spans are pairwise disjoint"},
+		{RulePlanBest, "every node's best single-node time is the minimum of its profiled modes"},
+		{RulePlanTotal, "the plan's claimed total re-derives exactly from its chosen spans and uncovered nodes"},
+		{RulePlanOptimal, "no assignment of modes and spans beats the plan total (exact branch-and-bound cross-check)"},
 	}
 }
 

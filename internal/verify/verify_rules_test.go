@@ -318,6 +318,56 @@ var ruleCases = map[string]func(t *testing.T) []verify.Diagnostic{
 		c.Requests[0].Execute++
 		return verify.Schedule(c)
 	},
+	verify.RulePlanShape: func(t *testing.T) []verify.Diagnostic {
+		c := goodPlanCert()
+		c.Nodes[0].Modes = nil // a node the search never profiled
+		return verify.PlanSearch(c)
+	},
+	verify.RulePlanChoice: func(t *testing.T) []verify.Diagnostic {
+		c := goodPlanCert()
+		// Choose a second span overlapping the chosen [0,2) one. Keep the
+		// total consistent so only the disjointness rule trips.
+		c.Spans = append(c.Spans, verify.PlanSpan{Name: "b+c", Start: 1, Len: 2, Cycles: 30, Chosen: true})
+		return verify.PlanSearch(c)
+	},
+	verify.RulePlanBest: func(t *testing.T) []verify.Diagnostic {
+		c := goodPlanCert()
+		c.Nodes[2].Best-- // claims a time cheaper than any profiled mode
+		c.Total--         // keep OP-TOTAL consistent with the bogus best
+		return verify.PlanSearch(c)
+	},
+	verify.RulePlanTotal: func(t *testing.T) []verify.Diagnostic {
+		c := goodPlanCert()
+		c.Total++
+		return verify.PlanSearch(c)
+	},
+	verify.RulePlanOptimal: func(t *testing.T) []verify.Diagnostic {
+		c := goodPlanCert()
+		// The plan ignores a strictly cheaper span: internally consistent
+		// (spans disjoint, total re-derives), just not the optimum.
+		c.Spans[0].Chosen = false
+		c.Total = 10 + 12 + 30 // all singles; the span would save 7
+		return verify.PlanSearch(c)
+	},
+}
+
+// goodPlanCert is a clean three-node plan certificate: nodes a/b/c with
+// bests 10/12/30, one chosen span over a+b costing 15 (saving 7), total
+// 15 + 30 = 45. PlanSearch returns no diagnostics for it (pinned by
+// TestGoodPlanCertClean in plan_test.go).
+func goodPlanCert() *verify.PlanCertificate {
+	return &verify.PlanCertificate{
+		Model: "toy",
+		Nodes: []verify.PlanNode{
+			{Name: "a", Modes: []verify.PlanMode{{Name: "gpu", Cycles: 14}, {Name: "pim", Cycles: 10}}, Best: 10},
+			{Name: "b", Modes: []verify.PlanMode{{Name: "gpu", Cycles: 12}}, Best: 12},
+			{Name: "c", Modes: []verify.PlanMode{{Name: "gpu", Cycles: 30}, {Name: "mddp", Cycles: 31}}, Best: 30},
+		},
+		Spans: []verify.PlanSpan{
+			{Name: "a+b", Start: 0, Len: 2, Cycles: 15, Chosen: true},
+		},
+		Total: 45,
+	}
 }
 
 // TestEveryRuleHasFailingInput is the catalogue gate: every documented

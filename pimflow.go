@@ -217,13 +217,17 @@ func VerifyRules() []VerifyRule { return verify.Rules() }
 func VerifyGraph(g *Graph) []Diagnostic { return verify.Graph(g) }
 
 // Verify statically checks the compiled model end to end: the
-// transformed graph against the IR invariants, then every offloaded
-// layer's generated PIM command trace against the §4.1 protocol state
-// machine and the workload-coverage oracle. It returns all violations,
-// empty when the model is clean; nothing is simulated.
+// transformed graph against the IR invariants, every offloaded layer's
+// generated PIM command trace against the §4.1 protocol state machine
+// and the workload-coverage oracle, and the plan's execution-mode
+// assignment against an exact branch-and-bound solver (the OP-* rules —
+// the search's dynamic program must have found the true optimum of the
+// profiled times). It returns all violations, empty when the model is
+// clean; nothing is simulated.
 func (c *CompiledModel) Verify() []Diagnostic {
 	rc := c.Config.RuntimeConfig()
-	return verify.Compiled(c.Graph, rc.PIM, rc.Codegen)
+	diags := verify.Compiled(c.Graph, rc.PIM, rc.Codegen)
+	return append(diags, verify.PlanSearch(c.Plan.Certificate())...)
 }
 
 // Execute is a convenience wrapper: compile under the policy's default
