@@ -39,7 +39,7 @@ fuzz:
 # benchmarks. Results are merged into $(BENCH_JSON) under $(BENCH_LABEL)
 # (machine-readable ns/op, B/op, allocs/op) by cmd/pimflow-bench; the
 # raw go test output still streams through to the terminal.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 BENCH_LABEL ?= after
 
 bench:
@@ -48,14 +48,15 @@ bench:
 
 # Trace-driven serving scenarios (Poisson / diurnal / bursty) replayed
 # deterministically; results (including attributed per-stage percentile
-# splits) merge into the same snapshot file.
+# splits) merge into the same snapshot file. The fleet sweep replays the
+# same workload through 1-, 2-, and 4-machine fleets (fleet1/2/4).
 bench-scenarios:
-	$(GO) run ./cmd/pimflow-bench -label $(BENCH_LABEL) -out $(BENCH_JSON) -scenario all
+	$(GO) run ./cmd/pimflow-bench -label $(BENCH_LABEL) -out $(BENCH_JSON) -scenario poisson,diurnal,bursty,fleet -certify
 
 # Regression gate: replay the Poisson scenario now and compare its
 # deterministic virtual-time metrics against the committed baseline
 # (exactly what CI runs). Exits nonzero on >10% regressions.
-BENCH_BASELINE ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR10.json
 
 bench-compare:
 	$(GO) run ./cmd/pimflow-bench -label compare-run -out /tmp/pimflow_bench_compare.json -scenario poisson

@@ -38,6 +38,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pimflow/internal/fleet"
 	"pimflow/internal/load"
 	"pimflow/internal/obs"
 )
@@ -129,6 +130,11 @@ func runScenarios(label, out, names, tracePath string, certify bool) error {
 	if names == "all" {
 		names = "poisson,diurnal,bursty"
 	}
+	// The fleet scaling sweep: the same workload on 1, 2, and 4 machines.
+	names = strings.Replace(names, "fleet,", "fleet1,fleet2,fleet4,", 1)
+	if names == "fleet" || strings.HasSuffix(names, ",fleet") {
+		names = strings.TrimSuffix(names, "fleet") + "fleet1,fleet2,fleet4"
+	}
 	results, section, err := loadSection(label, out)
 	if err != nil {
 		return err
@@ -141,6 +147,12 @@ func runScenarios(label, out, names, tracePath string, certify bool) error {
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
+			continue
+		}
+		if strings.HasPrefix(name, "fleet") {
+			if err := runFleetScenario(section, name, certify); err != nil {
+				return err
+			}
 			continue
 		}
 		sc, err := load.Builtin(name)
@@ -201,6 +213,72 @@ func runScenarios(label, out, names, tracePath string, certify bool) error {
 		fmt.Fprintf(os.Stderr, "pimflow-bench: wrote Chrome trace to %s\n", tracePath)
 	}
 	fmt.Fprintf(os.Stderr, "pimflow-bench: recorded scenarios under %q in %s\n", label, out)
+	return nil
+}
+
+// fleetBuiltin builds the fleet scaling scenario for a machine count:
+// the builtin Poisson workload replayed through a fleet whose hot
+// models replicate onto every machine. The per-machine stacks are
+// identical, so comparing fleet1/fleet2/fleet4 isolates what the router
+// tier buys (JSQ over replicas) and costs (nothing, on the virtual
+// timeline) as the fleet grows.
+func fleetBuiltin(machines int) (fleet.Scenario, error) {
+	base, err := load.Builtin("poisson")
+	if err != nil {
+		return fleet.Scenario{}, err
+	}
+	base.Name = fmt.Sprintf("fleet%d", machines)
+	// Push the arrival rate past one machine's saturation point so added
+	// replicas visibly pull the tail in.
+	base.RatePerMCycle = 8
+	sc := fleet.Scenario{
+		Scenario: base,
+		Machines: machines,
+		Replicas: map[string]int{},
+		Certify:  true,
+	}
+	for _, m := range base.Models {
+		sc.Replicas[m.Name] = machines
+	}
+	return sc, nil
+}
+
+// runFleetScenario replays one fleet scaling point ("fleet1", "fleet2",
+// "fleet4") and records it as Scenario/<name>.
+func runFleetScenario(section map[string]Result, name string, certify bool) error {
+	var machines int
+	if _, err := fmt.Sscanf(name, "fleet%d", &machines); err != nil || machines <= 0 {
+		return fmt.Errorf("unknown fleet scenario %q (fleet1, fleet2, fleet4, or \"fleet\" for all)", name)
+	}
+	sc, err := fleetBuiltin(machines)
+	if err != nil {
+		return err
+	}
+	sc.Certify = certify || sc.Certify
+	rep, err := fleet.Run(sc)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", name, err)
+	}
+	extra := map[string]float64{
+		"req/s":           rep.ReqPerSec,
+		"requests":        float64(rep.Requests),
+		"served":          float64(rep.Served),
+		"shed":            float64(rep.Shed),
+		"machines":        float64(machines),
+		"p50_simcycles":   float64(rep.P50),
+		"p99_simcycles":   float64(rep.P99),
+		"p999_simcycles":  float64(rep.P999),
+		"makespan_cycles": float64(rep.MakespanCycles),
+	}
+	if rep.Certified {
+		extra["certified_leases"] = float64(rep.CertifiedLeases)
+	}
+	section["Scenario/"+name] = Result{NsPerOp: rep.WallSeconds * 1e9, Extra: extra}
+	fmt.Printf("scenario %-8s served %5d shed %5d p50 %d p99 %d p999 %d cycles (%.0f req/s, %d machines)\n",
+		name, rep.Served, rep.Shed, rep.P50, rep.P99, rep.P999, rep.ReqPerSec, machines)
+	if rep.Certified {
+		fmt.Printf("  fleet certificate: %d leases verified clean (FL-* + SR-*)\n", rep.CertifiedLeases)
+	}
 	return nil
 }
 

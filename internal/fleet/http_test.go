@@ -1,0 +1,170 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pimflow/internal/fleet"
+)
+
+// doJSON issues one request with a JSON body and decodes the JSON reply
+// into out (which may be nil for empty replies).
+func doJSON(t *testing.T, c *http.Client, method, url string, in, out any) int {
+	t.Helper()
+	var body bytes.Buffer
+	if in != nil {
+		if err := json.NewEncoder(&body).Encode(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && resp.ContentLength != 0 {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPEndToEnd drives the fleet API the way the CLI smoke does:
+// deploy two models over HTTP, register a Sequence graph spanning them,
+// infer through the graph, and read the machine listing and metrics.
+func TestHTTPEndToEnd(t *testing.T) {
+	f, err := fleet.New(fleet.Config{Machines: 2, Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown(context.Background())
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var health map[string]any
+	if code := doJSON(t, c, http.MethodGet, ts.URL+"/healthz", nil, &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+	if health["machines"] != float64(2) {
+		t.Fatalf("healthz machines = %v, want 2", health["machines"])
+	}
+
+	// Whole-machine demands force the Sequence across two machines.
+	deploy := func(name string, replicas int) {
+		body := map[string]any{"model": "toy", "totalChannels": 32, "pimChannels": 16, "replicas": replicas}
+		var got map[string]any
+		if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/models/"+name, body, &got); code != http.StatusCreated {
+			t.Fatalf("deploy %s: %d %v", name, code, got)
+		}
+	}
+	deploy("front", 1)
+	deploy("back", 1)
+
+	// Redeploy conflicts; unknown-model infer 404s.
+	if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/models/front",
+		map[string]any{"model": "toy"}, nil); code != http.StatusConflict {
+		t.Fatalf("redeploy front: %d, want 409", code)
+	}
+	if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/models/ghost/infer", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("infer ghost: %d, want 404", code)
+	}
+
+	var machines []fleet.MachineInfo
+	if code := doJSON(t, c, http.MethodGet, ts.URL+"/v1/machines", nil, &machines); code != http.StatusOK {
+		t.Fatalf("machines: %d", code)
+	}
+	if len(machines) != 2 || len(machines[0].Placements) != 1 || len(machines[1].Placements) != 1 {
+		t.Fatalf("placements not spread across both machines: %+v", machines)
+	}
+
+	g := fleet.Graph{
+		Root: "root",
+		Nodes: []fleet.GraphNode{{Name: "root", Type: "sequence", Steps: []fleet.GraphStep{
+			{Model: "front"}, {Model: "back"},
+		}}},
+	}
+	var regged fleet.Graph
+	if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/graphs/chain", g, &regged); code != http.StatusCreated {
+		t.Fatalf("register graph: %d %+v", code, regged)
+	}
+
+	var resp fleet.Response
+	if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/graphs/chain/infer", nil, &resp); code != http.StatusOK {
+		t.Fatalf("graph infer: %d %+v", code, resp)
+	}
+	if len(resp.Hops) != 2 || resp.Hops[0].Model != "front" || resp.Hops[1].Model != "back" {
+		t.Fatalf("graph hops = %+v, want front then back", resp.Hops)
+	}
+	if resp.Hops[0].Machine == resp.Hops[1].Machine {
+		t.Fatalf("both hops on %s; whole-machine models must split", resp.Hops[0].Machine)
+	}
+	if want := resp.Hops[0].Resp.LatencyCycles + resp.Hops[1].Resp.LatencyCycles; resp.LatencyCycles != want {
+		t.Fatalf("sequence latency %d != hop sum %d", resp.LatencyCycles, want)
+	}
+
+	// Per-machine metrics resolve by name; unknown machines 404.
+	if code := doJSON(t, c, http.MethodGet, ts.URL+"/v1/machines/m0/metrics", nil, nil); code != http.StatusOK {
+		t.Fatalf("machine metrics: %d", code)
+	}
+	if code := doJSON(t, c, http.MethodGet, ts.URL+"/v1/machines/m9/metrics", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown machine metrics: %d, want 404", code)
+	}
+
+	// Scale past the fleet is a 4xx, not a crash; undeploy then 404s.
+	if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/models/front/scale",
+		map[string]int{"replicas": 3}, nil); code < 400 || code >= 500 {
+		t.Fatalf("overscale: %d, want 4xx", code)
+	}
+	if code := doJSON(t, c, http.MethodDelete, ts.URL+"/v1/models/back", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("undeploy back: %d", code)
+	}
+	if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/models/back/infer", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("infer undeployed back: %d, want 404", code)
+	}
+
+	if diags := f.Verify(); len(diags) > 0 {
+		t.Fatalf("fleet certificate violations: %v", diags)
+	}
+}
+
+// TestHTTPLazyDeploy registers without placing; the first infer through
+// the router triggers the on-demand load.
+func TestHTTPLazyDeploy(t *testing.T) {
+	f, err := fleet.New(fleet.Config{Machines: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown(context.Background())
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	body := map[string]any{"model": "toy", "totalChannels": 16, "pimChannels": 8, "lazy": true}
+	if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/models/cold", body, nil); code != http.StatusCreated {
+		t.Fatalf("lazy deploy: %d", code)
+	}
+	var ds []fleet.DeploymentInfo
+	if code := doJSON(t, c, http.MethodGet, ts.URL+"/v1/models", nil, &ds); code != http.StatusOK {
+		t.Fatalf("models: %d", code)
+	}
+	if len(ds) != 1 || ds[0].Loaded {
+		t.Fatalf("lazy model listed as loaded: %+v", ds)
+	}
+	var resp fleet.Response
+	if code := doJSON(t, c, http.MethodPost, ts.URL+"/v1/models/cold/infer", nil, &resp); code != http.StatusOK {
+		t.Fatalf("lazy infer: %d %+v", code, resp)
+	}
+	if n := f.Metrics().Counter("fleet.on_demand_loads"); n < 1 {
+		t.Fatalf("on_demand_loads = %d, want >= 1", n)
+	}
+}

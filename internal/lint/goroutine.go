@@ -7,7 +7,8 @@ import (
 
 // analyzerGoroutine implements LT-GOROUTINE. Graceful drain is a core
 // serving guarantee — Shutdown must observe every worker finish — so
-// goroutines in internal/serve and internal/load must be tracked by a
+// goroutines in internal/serve, internal/load, and internal/fleet must
+// be tracked by a
 // sync.WaitGroup. A go statement passes if the statement immediately
 // before it in the same block calls Add on a WaitGroup ("wg.Add(1);
 // go s.worker()"), or the spawned function literal itself touches a
@@ -18,7 +19,7 @@ var analyzerGoroutine = &Analyzer{
 	ID:  RuleGoroutine,
 	Doc: "goroutines in serve/load are WaitGroup-tracked (Add before go, or Done/Wait in the body)",
 	Run: func(p *Pass) {
-		if !p.InScope("internal/serve", "internal/load") {
+		if !p.InScope("internal/serve", "internal/load", "internal/fleet") {
 			return
 		}
 		for _, f := range p.Files {

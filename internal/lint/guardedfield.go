@@ -25,7 +25,7 @@ var analyzerGuardedField = &Analyzer{
 	ID:  RuleGuardedField,
 	Doc: "fields annotated 'guarded by <mu>' are only accessed under that mutex or in *Locked functions",
 	Run: func(p *Pass) {
-		if !p.InScope("internal/serve", "internal/obs", "internal/load") {
+		if !p.InScope("internal/serve", "internal/obs", "internal/load", "internal/fleet") {
 			return
 		}
 		guarded := collectGuardedFields(p)

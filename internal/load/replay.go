@@ -243,15 +243,8 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 	var (
 		open     = map[string]*virtualBatch{} // per-model open batch
 		inFlight endHeap                      // completion cycles of placed work
-		lat      []latRec                     // served latencies + stage splits
-		classLat = map[string][]int64{}       // per-class latencies
-		stream   *streamStats                 // bounded-memory collector (StreamStats)
-		batchSum int64
-		makespan int64
+		stats    = NewCollector(sc, len(reqs))
 	)
-	if sc.StreamStats {
-		stream = newStreamStats(sc.SketchK)
-	}
 
 	flush := func(model string, vb *virtualBatch) error {
 		delete(open, model)
@@ -273,24 +266,14 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 			switch {
 			case o.Err == nil:
 				rep.Served++
-				batchSum += int64(o.Resp.BatchSize)
-				cls := o.Resp.SLOClass
-				if stream != nil {
-					stream.add(cls, o.Resp.LatencyCycles)
-				} else {
-					lat = append(lat, recOf(o.Resp))
-					classLat[cls] = append(classLat[cls], o.Resp.LatencyCycles)
-				}
-				cs := rep.Classes[cls]
+				stats.Observe(o.Resp)
+				cs := rep.Classes[o.Resp.SLOClass]
 				cs.Served++
 				if o.Resp.SLOMiss {
 					cs.SLOMiss++
 					rep.SLOMiss++
 				}
-				rep.Classes[cls] = cs
-				if o.Resp.EndCycle > makespan {
-					makespan = o.Resp.EndCycle
-				}
+				rep.Classes[o.Resp.SLOClass] = cs
 				heap.Push(&inFlight, o.Resp.EndCycle)
 			case errors.Is(o.Err, serve.ErrDeadlineViolation):
 				rep.Violated++
@@ -435,11 +418,7 @@ func Replay(srv *serve.Server, sc Scenario, reqs []Request) (*Report, error) {
 	}
 
 	rep.WallSeconds = time.Since(started).Seconds()
-	if stream != nil {
-		stream.finish(rep, batchSum, makespan)
-	} else {
-		finishReport(rep, lat, classLat, batchSum, makespan)
-	}
+	stats.Finish(rep)
 	if err := certify(srv, rep); err != nil {
 		return nil, err
 	}
@@ -581,13 +560,10 @@ func ReplayLive(srv *serve.Server, sc Scenario, reqs []Request, clients int) (*R
 	}
 	rep := &Report{Scenario: sc.Name, Requests: len(reqs), Classes: map[string]ClassStats{}}
 	var (
-		mu       sync.Mutex
-		lat      []latRec
-		classLat = map[string][]int64{}
-		batchSum int64
-		makespan int64
-		next     atomic.Int64
-		pending  sync.WaitGroup
+		mu      sync.Mutex
+		stats   = NewCollector(sc, len(reqs))
+		next    atomic.Int64
+		pending sync.WaitGroup
 	)
 	started := time.Now()
 	var submitters sync.WaitGroup
@@ -619,9 +595,7 @@ func ReplayLive(srv *serve.Server, sc Scenario, reqs []Request, clients int) (*R
 						return
 					}
 					rep.Served++
-					batchSum += int64(resp.BatchSize)
-					lat = append(lat, recOf(resp))
-					classLat[resp.SLOClass] = append(classLat[resp.SLOClass], resp.LatencyCycles)
+					stats.Observe(resp)
 					cs := rep.Classes[resp.SLOClass]
 					cs.Served++
 					if resp.SLOMiss {
@@ -629,9 +603,6 @@ func ReplayLive(srv *serve.Server, sc Scenario, reqs []Request, clients int) (*R
 						rep.SLOMiss++
 					}
 					rep.Classes[resp.SLOClass] = cs
-					if resp.EndCycle > makespan {
-						makespan = resp.EndCycle
-					}
 				}()
 			}
 		}()
@@ -642,7 +613,7 @@ func ReplayLive(srv *serve.Server, sc Scenario, reqs []Request, clients int) (*R
 	srv.FlushBatches()
 	pending.Wait()
 	rep.WallSeconds = time.Since(started).Seconds()
-	finishReport(rep, lat, classLat, batchSum, makespan)
+	stats.Finish(rep)
 	return rep, nil
 }
 

@@ -324,6 +324,31 @@ func (r *Registry) compileInner(spec ModelSpec) (*LoadedModel, error) {
 	}, nil
 }
 
+// Install makes an already-compiled model servable under its spec name
+// without recompiling. The fleet placement layer uses it to fan a
+// compile-once LoadedModel out to replica machines: the graph is
+// read-only after shape inference and the runtime configuration is
+// copied per execution, so sharing one LoadedModel across registries is
+// safe. The model's demand must still fit this registry's machine, and
+// installing over a live name fails with ErrAlreadyLoaded.
+func (r *Registry) Install(lm *LoadedModel) error {
+	if lm == nil || lm.Spec.Name == "" {
+		return fmt.Errorf("serve: install of empty model")
+	}
+	if lm.Demand.GPU > r.machine.GPUChannels || lm.Demand.PIM > r.machine.PIMChannels {
+		return fmt.Errorf("serve: model %q demands %d GPU + %d PIM channels, machine has %d + %d",
+			lm.Spec.Name, lm.Demand.GPU, lm.Demand.PIM, r.machine.GPUChannels, r.machine.PIMChannels)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[lm.Spec.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrAlreadyLoaded, lm.Spec.Name)
+	}
+	r.models[lm.Spec.Name] = lm
+	r.metrics.Set("serve.models_loaded", float64(len(r.models)))
+	return nil
+}
+
 // Get returns a loaded model by serving name.
 func (r *Registry) Get(name string) (*LoadedModel, error) {
 	r.mu.Lock()

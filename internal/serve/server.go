@@ -217,6 +217,9 @@ func (s *Server) Scheduler() *Scheduler { return s.sched }
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *obs.Metrics { return s.cfg.Metrics }
 
+// Machine returns the simulated machine the server schedules over.
+func (s *Server) Machine() Machine { return s.cfg.Machine }
+
 // Draining reports whether shutdown has begun.
 func (s *Server) Draining() bool {
 	s.mu.Lock()

@@ -1,0 +1,133 @@
+package verify_test
+
+import (
+	"testing"
+
+	"pimflow/internal/verify"
+)
+
+// goodFleetCert is a clean two-machine fleet certificate: a hot model
+// replicated on both machines, a cold model bin-packed next to it, one
+// sequence graph chaining them, and one routed request whose second hop
+// is gated on the first. Fleet returns no diagnostics for it (pinned by
+// TestGoodFleetCertClean).
+func goodFleetCert() verify.FleetCertificate {
+	return verify.FleetCertificate{
+		Machines: []verify.FleetMachine{
+			{Name: "m0", GPUChannels: 16, PIMChannels: 16},
+			{Name: "m1", GPUChannels: 16, PIMChannels: 16},
+		},
+		Placements: []verify.FleetPlacement{
+			{Model: "hot", Machine: "m0", GPU: 8, PIM: 8, Active: true},
+			{Model: "hot", Machine: "m1", GPU: 8, PIM: 8, Active: true},
+			{Model: "cold", Machine: "m0", GPU: 8, PIM: 8, Active: true},
+		},
+		Graphs: []verify.FleetGraph{
+			{Name: "chain", Root: "root", Nodes: []verify.FleetGraphNode{
+				{Name: "root", Type: "sequence", Steps: []verify.FleetGraphStep{
+					{Model: "hot"}, {Model: "cold"},
+				}},
+			}},
+		},
+		Hops: []verify.FleetHop{
+			{Route: 1, Index: 0, Graph: "chain", Node: "root", Model: "hot", Machine: "m1",
+				Arrival: 100, End: 400, After: -1},
+			{Route: 1, Index: 1, Graph: "chain", Node: "root", Model: "cold", Machine: "m0",
+				Arrival: 400, End: 900, After: 0},
+		},
+	}
+}
+
+func TestGoodFleetCertClean(t *testing.T) {
+	if diags := verify.Fleet(goodFleetCert()); len(diags) != 0 {
+		t.Fatalf("clean fleet certificate rejected: %v", diags)
+	}
+}
+
+// The FL-* failing inputs register into the shared catalogue gate
+// (TestEveryRuleHasFailingInput): each constructor forges exactly one
+// fleet-tier violation into the clean certificate.
+func init() {
+	ruleCases[verify.RuleFleetMachine] = func(t *testing.T) []verify.Diagnostic {
+		c := goodFleetCert()
+		c.Placements[0].Machine = "ghost"
+		return verify.Fleet(c)
+	}
+	ruleCases[verify.RuleFleetCapacity] = func(t *testing.T) []verify.Diagnostic {
+		c := goodFleetCert()
+		// A second active model on m0 pushes the GPU-group sum to 24 > 16
+		// while still fitting the machine alone.
+		c.Placements = append(c.Placements,
+			verify.FleetPlacement{Model: "warm", Machine: "m0", GPU: 8, PIM: 0, Active: true})
+		return verify.Fleet(c)
+	}
+	ruleCases[verify.RuleFleetReplica] = func(t *testing.T) []verify.Diagnostic {
+		c := goodFleetCert()
+		c.Placements[1].Machine = "m0" // both hot replicas on one machine
+		c.Placements[1].GPU = 4        // and with a divergent demand
+		return verify.Fleet(c)
+	}
+	ruleCases[verify.RuleFleetNode] = func(t *testing.T) []verify.Diagnostic {
+		c := goodFleetCert()
+		c.Graphs[0].Nodes[0].Steps[0] = verify.FleetGraphStep{} // targets nothing
+		return verify.Fleet(c)
+	}
+	ruleCases[verify.RuleFleetAcyclic] = func(t *testing.T) []verify.Diagnostic {
+		c := goodFleetCert()
+		// root -> loop -> root: a request entering this graph never exits.
+		c.Graphs[0].Nodes = []verify.FleetGraphNode{
+			{Name: "root", Type: "sequence", Steps: []verify.FleetGraphStep{{Node: "loop"}}},
+			{Name: "loop", Type: "sequence", Steps: []verify.FleetGraphStep{{Node: "root"}}},
+		}
+		return verify.Fleet(c)
+	}
+	ruleCases[verify.RuleFleetRoute] = func(t *testing.T) []verify.Diagnostic {
+		c := goodFleetCert()
+		c.Hops[1].Arrival = c.Hops[0].End - 1 // ran before its gating hop finished
+		return verify.Fleet(c)
+	}
+}
+
+// Fleet certification embeds each machine's schedule certificate: a
+// fleet whose FL-* story is clean but whose machine schedule breaks an
+// SR-* rule must still fail verification.
+func TestFleetEmbedsScheduleChecks(t *testing.T) {
+	c := goodFleetCert()
+	c.Schedules = map[string]verify.ScheduleCertificate{
+		"m0": {GPUChannels: 16, PIMChannels: 16, Leases: []verify.ScheduleLease{
+			{ID: 1, Model: "hot", Start: 200, End: 100, GPU: 8, PIM: 8, Batch: 1}, // inverted window
+		}},
+	}
+	diags := verify.Fleet(c)
+	if !hasRule(diags, verify.RuleSchedDemand) {
+		t.Fatalf("embedded schedule violation not surfaced: %v", diags)
+	}
+}
+
+// Evicted placements stay in the log: they no longer count against
+// capacity, but hops recorded while they were live still verify.
+func TestFleetEvictedPlacementHistory(t *testing.T) {
+	c := goodFleetCert()
+	c.Placements[1].Active = false // hot evicted from m1 after the route ran
+	if diags := verify.Fleet(c); len(diags) != 0 {
+		t.Fatalf("hop against an evicted placement rejected: %v", diags)
+	}
+	// But an active overcommit on the same machine is still caught.
+	c.Placements = append(c.Placements,
+		verify.FleetPlacement{Model: "w1", Machine: "m1", GPU: 16, PIM: 16, Active: true},
+		verify.FleetPlacement{Model: "w2", Machine: "m1", GPU: 1, PIM: 0, Active: true})
+	if diags := verify.Fleet(c); !hasRule(diags, verify.RuleFleetCapacity) {
+		t.Fatalf("overcommit next to an evicted placement missed: %v", diags)
+	}
+}
+
+// Time-shared placements skip the static sum but a hop still needs the
+// placement record; the dynamic half of the check lives in SR-OVERLAP.
+func TestFleetTimeShareSkipsStaticSum(t *testing.T) {
+	c := goodFleetCert()
+	c.Placements = append(c.Placements,
+		verify.FleetPlacement{Model: "burst", Machine: "m0", GPU: 16, PIM: 16, Active: true, TimeShare: true})
+	if diags := verify.Fleet(c); len(diags) != 0 {
+		t.Fatalf("time-shared overcommit must pass the static check: %v", diags)
+	}
+}

@@ -124,6 +124,12 @@ func Rules() []Rule {
 		{RuleSchedLease, "every certified request runs inside its own model's recorded lease, at or after its arrival"},
 		{RuleSchedWindow, "every batch matches its lease's size and respects the model's MaxBatch and virtual window"},
 		{RuleSchedPartition, "every request's batch-wait + lease-wait + execute stages partition its latency exactly"},
+		{RuleFleetMachine, "fleet machines have unique names and positive channel groups, and every placement and hop names one"},
+		{RuleFleetCapacity, "every placement fits its machine alone, and active non-time-shared placements never sum past either channel group"},
+		{RuleFleetReplica, "a model's active replicas sit on distinct machines and share one channel-group demand"},
+		{RuleFleetNode, "inference-graph nodes are well-typed with well-formed steps (one target each, positive splitter weights, one switch default, model-only ensembles)"},
+		{RuleFleetAcyclic, "inference-graph node references are acyclic and the root node exists"},
+		{RuleFleetRoute, "every routed hop rides a recorded placement and graph node, with a non-inverted window at or after its gating hop's completion"},
 		{RulePlanShape, "plan certificates are structurally sound: in-range spans, non-negative times, at least one mode per node"},
 		{RulePlanChoice, "a plan's chosen pipeline spans are pairwise disjoint"},
 		{RulePlanBest, "every node's best single-node time is the minimum of its profiled modes"},
